@@ -1,0 +1,90 @@
+// Figure 6: weak scaling for Stencil (PRK 2D star stencil, radius 2).
+//
+// Paper configuration: 40k^2 grid points per node, 12-core nodes; series
+// Regent (with CR), Regent (w/o CR), MPI, MPI+OpenMP; MPI references run
+// only at node counts with square process grids (even powers of two).
+//
+// The simulated problem is geometrically scaled down (11 tiles of 32^2
+// per node, one tile per compute core) with per-point cost and per-halo-
+// element width calibrated so that per-node iteration time and the
+// communication/computation ratio match the paper's problem; throughput
+// is reported in *paper-scale* points per second per node. See
+// EXPERIMENTS.md for the calibration table.
+#include <cstdio>
+
+#include "apps/stencil/stencil.h"
+#include "common.h"
+
+namespace {
+
+using namespace cr;
+using apps::stencil::Config;
+
+// Paper problem: 40000^2 points/node at ~1500e6 points/s/node.
+constexpr double kPaperPointsPerNode = 40000.0 * 40000.0;
+constexpr uint32_t kTilesPerNode = 11;  // one per compute core
+constexpr uint64_t kTile = 32;
+
+Config make_config(uint32_t nodes, uint64_t steps) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.tasks_per_node = kTilesPerNode;
+  cfg.tile_x = kTile;
+  cfg.tile_y = kTile;
+  cfg.steps = steps;
+  // Calibration: per-node per-iteration compute ~= 1.07 s (the paper's
+  // single-node rate), spread over the scaled points; stencil + the two
+  // increment launches weigh ~1.3x the base per-point cost.
+  cfg.ns_per_point = 1.067e9 / static_cast<double>(kTile * kTile) / 1.15;
+  // Halo width: the paper's node boundary is ~40000 x 2(radius) x 2 dirs
+  // x 8 B ~= 2.6 MB/iter; our scaled ring moves ~5.5k elements per node.
+  cfg.halo_virtual_bytes = 480;
+  return cfg;
+}
+
+double run_engine(uint32_t nodes, bool spmd) {
+  auto total = [&](uint64_t steps) {
+    exec::CostModel cost = exec::CostModel::piz_daint();
+    cost.track_dependences = false;
+    // Master-side per-point-task cost without CR: dynamic dependence +
+    // physical analysis + remote mapping, see EXPERIMENTS.md.
+    cost.implicit_launch_ns = 2.0e6;
+    Config cfg = make_config(nodes, steps);
+    rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
+    apps::stencil::App app = apps::stencil::build(rt, cfg);
+    for (auto& t : app.program.tasks) t.kernel = nullptr;
+    exec::PreparedRun run =
+        spmd ? exec::prepare_spmd(rt, app.program, cost, {})
+             : exec::prepare_implicit(rt, app.program, cost, {});
+    return exec::to_seconds(run.run().makespan_ns);
+  };
+  return bench::steady_seconds(total, 2, 6);
+}
+
+double run_mpi(uint32_t nodes, bool openmp) {
+  exec::CostModel cost = exec::CostModel::piz_daint();
+  auto total = [&](uint64_t steps) {
+    Config cfg = make_config(nodes, steps);
+    return exec::to_seconds(
+        apps::stencil::run_mpi_baseline(cfg, openmp, cost));
+  };
+  return bench::steady_seconds(total, 2, 6);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<cr::bench::SeriesSpec> specs = {
+      {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
+      {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},
+      {"MPI", [](uint32_t n) { return run_mpi(n, false); },
+       cr::bench::is_square_power},
+      {"MPI+OpenMP", [](uint32_t n) { return run_mpi(n, true); },
+       cr::bench::is_square_power},
+  };
+  auto report = cr::bench::sweep(
+      "Figure 6: Stencil weak scaling (40k^2 points/node)",
+      "10^6 points/s per node", 1e6, kPaperPointsPerNode, 1.0, specs);
+  std::printf("%s\n", report.to_table().c_str());
+  return 0;
+}

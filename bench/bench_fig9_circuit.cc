@@ -1,0 +1,67 @@
+// Figure 9: weak scaling for Circuit (sparse circuit simulation on a
+// random graph, 100k edges + 25k vertices per node). Series: Regent
+// (with CR) and Regent (w/o CR) — the paper has no MPI reference for
+// this application.
+#include <cstdio>
+
+#include "apps/circuit/circuit.h"
+#include "common.h"
+
+namespace {
+
+using namespace cr;
+using apps::circuit::Config;
+
+constexpr double kPaperNodesPerMachineNode = 25000.0;
+
+Config make_config(uint32_t nodes, uint64_t steps) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.pieces_per_node = 11;  // one piece per compute core
+  cfg.nodes_per_piece = 128;
+  cfg.wires_per_piece = 512;
+  cfg.pct_cross = 0.05;
+  cfg.window = 2;
+  cfg.steps = steps;
+  // Paper single-node rate ~80e3 graph nodes/s => ~0.31 s per iteration
+  // per machine node; the CNC + DC wire loops dominate.
+  cfg.ns_per_wire =
+      0.31e9 / (1.6 * static_cast<double>(cfg.wires_per_piece));
+  cfg.ns_per_node = 0.2 * cfg.ns_per_wire;
+  // Ghost voltage exchange: a few hundred shared nodes per piece in the
+  // paper's graph; scale the per-element width to a ~1 MB/node/iter
+  // exchange.
+  cfg.voltage_virtual_bytes = 2048;
+  return cfg;
+}
+
+double run_engine(uint32_t nodes, bool spmd) {
+  auto total = [&](uint64_t steps) {
+    exec::CostModel cost = exec::CostModel::piz_daint();
+    cost.track_dependences = false;
+    cost.implicit_launch_ns = 300000;
+    Config cfg = make_config(nodes, steps);
+    rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
+    apps::circuit::App app = apps::circuit::build(rt, cfg);
+    for (auto& t : app.program.tasks) t.kernel = nullptr;
+    exec::PreparedRun run =
+        spmd ? exec::prepare_spmd(rt, app.program, cost, {})
+             : exec::prepare_implicit(rt, app.program, cost, {});
+    return exec::to_seconds(run.run().makespan_ns);
+  };
+  return cr::bench::steady_seconds(total, 2, 5);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<cr::bench::SeriesSpec> specs = {
+      {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
+      {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},
+  };
+  auto report = cr::bench::sweep(
+      "Figure 9: Circuit weak scaling (100k edges + 25k vertices/node)",
+      "10^3 nodes/s per node", 1e3, kPaperNodesPerMachineNode, 1.0, specs);
+  std::printf("%s\n", report.to_table().c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the runtime substrates: interval
+// set algebra, shallow-intersection structures, the DES event loop, and
+// the dynamic dependence analysis. These are the real in-process costs
+// behind the virtual-time constants documented in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "rt/dependence.h"
+#include "rt/intersect.h"
+#include "rt/partition.h"
+#include "sim/processor.h"
+#include "sim/simulator.h"
+#include "support/interval_set.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace cr;
+
+support::IntervalSet random_set(support::Rng& rng, uint64_t universe,
+                                int chunks) {
+  support::IntervalSet s;
+  for (int i = 0; i < chunks; ++i) {
+    const uint64_t lo = rng.next_below(universe);
+    s.add(lo, lo + 1 + rng.next_below(universe / chunks + 1));
+  }
+  return s;
+}
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  support::Rng rng(1);
+  const auto a = random_set(rng, 1u << 20, static_cast<int>(state.range(0)));
+  const auto b = random_set(rng, 1u << 20, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_intersect(b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (a.interval_count() + b.interval_count()));
+}
+BENCHMARK(BM_IntervalSetIntersect)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_IntervalSetUnion(benchmark::State& state) {
+  support::Rng rng(2);
+  const auto a = random_set(rng, 1u << 20, static_cast<int>(state.range(0)));
+  const auto b = random_set(rng, 1u << 20, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_union(b));
+  }
+}
+BENCHMARK(BM_IntervalSetUnion)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_IntervalTreeQuery(benchmark::State& state) {
+  support::Rng rng(3);
+  std::vector<rt::IntervalTree::Entry> entries;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const uint64_t lo = rng.next_below(1u << 20);
+    entries.push_back({{lo, lo + 64}, static_cast<uint64_t>(i)});
+  }
+  rt::IntervalTree tree(std::move(entries));
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    const uint64_t lo = rng.next_below(1u << 20);
+    tree.query({lo, lo + 256}, hits);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_IntervalTreeQuery)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_ShallowIntersectionsHalo(benchmark::State& state) {
+  // 1D halo pattern: O(N) pairs out of N^2 candidates.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  rt::RegionForest forest;
+  auto fs = std::make_shared<rt::FieldSpace>();
+  fs->add_field("v");
+  rt::RegionId r = forest.create_region(rt::IndexSpace::dense(n * 64), fs);
+  rt::PartitionId p = rt::partition_equal(forest, r, n);
+  rt::PartitionId q = rt::partition_image(
+      forest, r, p, [n](uint64_t x, std::vector<uint64_t>& out) {
+        out.push_back(x);
+        if (x >= 8) out.push_back(x - 8);
+        if (x + 8 < n * 64) out.push_back(x + 8);
+      });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::shallow_intersections(forest, p, q));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShallowIntersectionsHalo)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Processor proc(sim, {0, 0});
+    sim::Event prev;
+    for (int i = 0; i < 10000; ++i) {
+      prev = proc.spawn(prev, 100);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_DependenceAnalysis(benchmark::State& state) {
+  rt::RegionForest forest;
+  auto fs = std::make_shared<rt::FieldSpace>();
+  const rt::FieldId f = fs->add_field("v");
+  rt::RegionId r = forest.create_region(rt::IndexSpace::dense(1u << 16), fs);
+  rt::PartitionId p =
+      rt::partition_equal(forest, r, static_cast<uint64_t>(state.range(0)));
+  sim::Simulator sim;
+  uint64_t op = 0;
+  for (auto _ : state) {
+    rt::DependenceTracker deps(forest);
+    for (uint64_t c = 0; c < forest.partition(p).subregions.size(); ++c) {
+      sim::UserEvent e(sim);
+      rt::Requirement req{forest.subregion(p, c),
+                          rt::Privilege::kReadWrite,
+                          rt::ReduceOp::kSum,
+                          {f}};
+      benchmark::DoNotOptimize(deps.record(++op, req, e.event()));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DependenceAnalysis)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

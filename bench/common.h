@@ -1,0 +1,88 @@
+// Shared driver for the figure-regeneration benches: weak-scaling sweeps
+// of the Regent (with/without CR) executions and the app-specific MPI
+// reference models, reported in the paper's throughput-per-node form.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/report.h"
+#include "exec/spmd_exec.h"
+
+namespace cr::bench {
+
+// Node counts of the paper's weak-scaling plots, capped by the
+// CR_BENCH_MAX_NODES environment variable (default 1024).
+inline std::vector<uint32_t> node_counts() {
+  uint32_t max_nodes = 1024;
+  if (const char* env = std::getenv("CR_BENCH_MAX_NODES")) {
+    max_nodes = static_cast<uint32_t>(std::atoi(env));
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t n = 1; n <= max_nodes; n *= 2) out.push_back(n);
+  return out;
+}
+
+// One configuration point: run and return the virtual seconds of the
+// measured window.
+using RunFn = std::function<double(uint32_t nodes)>;
+
+struct SeriesSpec {
+  std::string name;
+  RunFn run;
+  // Restrict to node counts where the reference can run (the paper's
+  // MPI stencil references require square grids: even powers of two).
+  std::function<bool(uint32_t)> applicable = [](uint32_t) { return true; };
+};
+
+inline exec::ScalingReport sweep(const std::string& title,
+                                 const std::string& unit, double unit_scale,
+                                 double work_per_node, double iterations,
+                                 const std::vector<SeriesSpec>& specs) {
+  exec::ScalingReport report;
+  report.title = title;
+  report.unit = unit;
+  report.unit_scale = unit_scale;
+  for (const SeriesSpec& spec : specs) {
+    exec::ScalingSeries series;
+    series.name = spec.name;
+    for (uint32_t n : node_counts()) {
+      if (!spec.applicable(n)) continue;
+      std::fprintf(stderr, "  [%s] %u nodes...\n", spec.name.c_str(), n);
+      exec::ScalingPoint pt;
+      pt.nodes = n;
+      pt.seconds = spec.run(n);
+      pt.work_per_node = work_per_node;
+      pt.iterations = iterations;
+      series.points.push_back(pt);
+    }
+    report.series.push_back(std::move(series));
+  }
+  return report;
+}
+
+// Measure the steady-state per-iteration time of an engine execution by
+// differencing two runs with different step counts (initialization,
+// intersections and final copies cancel out).
+inline double steady_seconds(const std::function<double(uint64_t)>& total,
+                             uint64_t steps_lo, uint64_t steps_hi) {
+  const double t_lo = total(steps_lo);
+  const double t_hi = total(steps_hi);
+  return (t_hi - t_lo) / static_cast<double>(steps_hi - steps_lo);
+}
+
+inline bool is_square_power(uint32_t n) {
+  // Even powers of two: 1, 4, 16, 64, ...
+  int bits = 0;
+  uint32_t v = n;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return (1u << bits) == n && bits % 2 == 0;
+}
+
+}  // namespace cr::bench

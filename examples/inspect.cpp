@@ -1,0 +1,125 @@
+// cr-inspect: build any of the four evaluation applications at a chosen
+// scale and look inside the system — the region forest (compare the
+// paper's Figures 3 and 5), the program before and after control
+// replication (Figures 2 and 4), the pipeline report, and optionally a
+// Chrome-trace timeline of the simulated execution.
+//
+//   $ ./examples/inspect circuit 4 trace.json
+//   $ ./examples/inspect stencil 2
+//   usage: inspect {stencil|circuit|pennant|miniaero} [nodes] [trace.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/circuit/circuit.h"
+#include "apps/miniaero/miniaero.h"
+#include "apps/pennant/pennant.h"
+#include "apps/stencil/stencil.h"
+#include "exec/spmd_exec.h"
+#include "ir/printer.h"
+
+using namespace cr;
+
+namespace {
+
+void inspect(rt::Runtime& rt, ir::Program program, const char* trace_path) {
+  exec::CostModel cost = exec::CostModel::piz_daint();
+  std::printf("==== region forest ====\n%s\n",
+              rt.forest().to_string().c_str());
+  std::printf("==== implicitly parallel program ====\n%s\n",
+              ir::to_string(program).c_str());
+
+  exec::PreparedRun run = exec::prepare_spmd(rt, std::move(program), cost, {});
+  std::printf("==== after control replication ====\n%s\n",
+              ir::to_string(*run.program).c_str());
+  const passes::PipelineReport& r = run.report;
+  std::printf(
+      "==== pipeline report ====\n"
+      "fragment statements     %zu\n"
+      "projections normalized  %zu\n"
+      "init / inner / final    %zu / %zu / %zu copies\n"
+      "reductions rewritten    %zu\n"
+      "copies removed/hoisted  %zu / %zu\n"
+      "intersection tables     %zu\n"
+      "collectives             %zu\n"
+      "p2p copies / barriers   %zu / %zu\n\n",
+      r.fragment_statements, r.projections_normalized, r.init_copies,
+      r.inner_copies, r.finalize_copies, r.reductions_rewritten,
+      r.copies_removed, r.copies_hoisted, r.intersection_tables,
+      r.collectives, r.p2p_copies, r.barriers);
+
+  if (trace_path != nullptr) run.engine->enable_trace();
+  exec::ExecutionResult res = run.run();
+  std::printf(
+      "==== execution ====\n"
+      "virtual makespan  %.3f ms\n"
+      "point tasks       %llu\n"
+      "copies            %llu (+%llu empty pairs skipped)\n"
+      "bytes moved       %llu\n"
+      "messages          %llu\n"
+      "intersections     %llu nonempty pairs\n",
+      static_cast<double>(res.makespan_ns) * 1e-6,
+      (unsigned long long)res.point_tasks,
+      (unsigned long long)res.copies_issued,
+      (unsigned long long)res.copies_skipped,
+      (unsigned long long)res.bytes_moved,
+      (unsigned long long)res.messages,
+      (unsigned long long)res.intersection_pairs);
+  if (trace_path != nullptr) {
+    run.engine->write_trace(trace_path);
+    std::printf("timeline written to %s (open in chrome://tracing)\n",
+                trace_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "circuit";
+  const uint32_t nodes =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 4;
+  const char* trace = argc > 3 ? argv[3] : nullptr;
+
+  exec::CostModel cost = exec::CostModel::piz_daint();
+  rt::Runtime rt(exec::runtime_config(nodes, 12, cost, /*real_data=*/true));
+
+  if (app == "stencil") {
+    apps::stencil::Config cfg;
+    cfg.nodes = nodes;
+    cfg.tasks_per_node = 2;
+    cfg.tile_x = cfg.tile_y = 12;
+    cfg.steps = 3;
+    inspect(rt, apps::stencil::build(rt, cfg).program, trace);
+  } else if (app == "circuit") {
+    apps::circuit::Config cfg;
+    cfg.nodes = nodes;
+    cfg.pieces_per_node = 2;
+    cfg.nodes_per_piece = 24;
+    cfg.wires_per_piece = 64;
+    cfg.steps = 3;
+    inspect(rt, apps::circuit::build(rt, cfg).program, trace);
+  } else if (app == "pennant") {
+    apps::pennant::Config cfg;
+    cfg.nodes = nodes;
+    cfg.pieces_per_node = 2;
+    cfg.zones_x_per_piece = 6;
+    cfg.zones_y = 6;
+    cfg.steps = 3;
+    inspect(rt, apps::pennant::build(rt, cfg).program, trace);
+  } else if (app == "miniaero") {
+    apps::miniaero::Config cfg;
+    cfg.nodes = nodes;
+    cfg.pieces_per_node = 2;
+    cfg.cells_x_per_piece = 4;
+    cfg.cells_y = cfg.cells_z = 4;
+    cfg.steps = 2;
+    inspect(rt, apps::miniaero::build(rt, cfg).program, trace);
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s {stencil|circuit|pennant|miniaero} [nodes] "
+                 "[trace.json]\n",
+                 argv[0]);
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "apps/circuit/graph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cr::apps::circuit {
+
+Graph generate_graph(const GraphConfig& config) {
+  CR_CHECK(config.pieces >= 1);
+  CR_CHECK(config.nodes_per_piece >= 2);
+  Graph g;
+  g.config = config;
+  const uint64_t wires = g.num_wires();
+  g.in_node.resize(wires);
+  g.out_node.resize(wires);
+  g.shared.assign(g.num_nodes(), false);
+
+  support::Rng rng(config.seed);
+  for (uint64_t w = 0; w < wires; ++w) {
+    const uint64_t piece = g.piece_of_wire(w);
+    const uint64_t base = piece * config.nodes_per_piece;
+    // The in-node is always local to the wire's piece.
+    g.in_node[w] = base + rng.next_below(config.nodes_per_piece);
+    // The out-node is usually local, sometimes in a nearby piece.
+    if (config.pieces > 1 && rng.next_bool(config.pct_cross)) {
+      const uint64_t lo =
+          piece > config.window ? piece - config.window : 0;
+      const uint64_t hi =
+          std::min(config.pieces - 1, piece + config.window);
+      uint64_t other = lo + rng.next_below(hi - lo + 1);
+      if (other == piece) other = (piece + 1 <= hi) ? piece + 1 : lo;
+      g.out_node[w] = other * config.nodes_per_piece +
+                      rng.next_below(config.nodes_per_piece);
+      // Both endpoints of a cross wire are shared: the remote node is
+      // read/reduced by this piece, and the local node may be involved
+      // in ghost exchanges of the remote piece's analysis.
+      g.shared[g.in_node[w]] = true;
+      g.shared[g.out_node[w]] = true;
+    } else {
+      g.out_node[w] = base + rng.next_below(config.nodes_per_piece);
+      if (g.out_node[w] == g.in_node[w]) {
+        g.out_node[w] = base + (g.in_node[w] - base + 1) %
+                                   config.nodes_per_piece;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace cr::apps::circuit

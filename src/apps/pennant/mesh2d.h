@@ -1,0 +1,86 @@
+// 2D mesh for the PENNANT proxy (paper §5.3): quadrilateral zones over a
+// rectangular point lattice, split into vertical piece strips (one task
+// per piece). Point columns on a strip boundary are *shared* between the
+// two adjacent pieces (owned by the left one); everything else is
+// private — the private/shared/ghost structure the hierarchical region
+// tree exploits.
+//
+// PENNANT proper reads an unstructured polygonal mesh; its standard test
+// problems (Sedov, Leblanc) run on exactly this kind of rectangular
+// quad mesh, and the communication structure (boundary point exchange +
+// corner-force reductions) is identical, which is what control
+// replication cares about.
+#pragma once
+
+#include <cstdint>
+
+namespace cr::apps::pennant {
+
+struct MeshConfig {
+  uint64_t zones_x = 16;  // zones per piece in x
+  uint64_t zones_y = 16;  // zones in y (full height)
+  uint64_t pieces = 2;
+  double dx = 1.0;
+  double dy = 1.0;
+};
+
+struct Mesh {
+  MeshConfig config;
+
+  uint64_t zones_x_total() const { return config.zones_x * config.pieces; }
+  uint64_t points_x_total() const { return zones_x_total() + 1; }
+  uint64_t points_y_total() const { return config.zones_y + 1; }
+  uint64_t num_zones() const { return zones_x_total() * config.zones_y; }
+  uint64_t num_points() const {
+    return points_x_total() * points_y_total();
+  }
+
+  // Ids: zones and points linearized x-major (column-contiguous), so a
+  // piece's zones and private points are contiguous id ranges.
+  uint64_t zone_id(uint64_t zx, uint64_t zy) const {
+    return zx * config.zones_y + zy;
+  }
+  uint64_t point_id(uint64_t px, uint64_t py) const {
+    return px * points_y_total() + py;
+  }
+  uint64_t zone_piece(uint64_t z) const {
+    return (z / config.zones_y) / config.zones_x;
+  }
+  uint64_t point_px(uint64_t p) const { return p / points_y_total(); }
+
+  // Corner points of a zone, counterclockwise.
+  void zone_points(uint64_t z, uint64_t out[4]) const {
+    const uint64_t zx = z / config.zones_y;
+    const uint64_t zy = z % config.zones_y;
+    out[0] = point_id(zx, zy);
+    out[1] = point_id(zx + 1, zy);
+    out[2] = point_id(zx + 1, zy + 1);
+    out[3] = point_id(zx, zy + 1);
+  }
+
+  // A point column px is shared iff it is an interior strip boundary.
+  bool point_col_shared(uint64_t px) const {
+    return px != 0 && px != zones_x_total() &&
+           px % config.zones_x == 0;
+  }
+  // Owner piece of a point: shared columns belong to the left piece, the
+  // outer boundary columns to their only adjacent piece.
+  uint64_t point_piece(uint64_t p) const {
+    const uint64_t px = point_px(p);
+    if (px == 0) return 0;
+    if (px == zones_x_total()) return config.pieces - 1;
+    const uint64_t left = (px - 1) / config.zones_x;
+    return point_col_shared(px) ? left : px / config.zones_x;
+  }
+
+  double point_x(uint64_t p) const {
+    return static_cast<double>(point_px(p)) * config.dx;
+  }
+  double point_y(uint64_t p) const {
+    return static_cast<double>(p % points_y_total()) * config.dy;
+  }
+};
+
+inline Mesh make_mesh(const MeshConfig& config) { return Mesh{config}; }
+
+}  // namespace cr::apps::pennant

@@ -1,0 +1,16 @@
+#include "exec/cost_model.h"
+
+namespace cr::exec {
+
+CostModel CostModel::piz_daint() {
+  CostModel m;
+  // Aries interconnect: ~1.3us one-way latency, ~10 GB/s effective
+  // per-NIC injection bandwidth.
+  m.network.latency_ns = 1300;
+  m.network.bandwidth_gbps = 10.0;
+  m.network.mem_bandwidth_gbps = 40.0;
+  m.network.am_handler_ns = 400;
+  return m;
+}
+
+}  // namespace cr::exec

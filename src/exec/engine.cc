@@ -1,0 +1,1095 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "passes/shard_creation.h"
+#include "rt/intersect.h"
+#include "support/check.h"
+
+namespace cr::exec {
+
+namespace {
+// Env id of the main/implicit control task (shards use their index).
+constexpr uint32_t kMainEnv = UINT32_MAX;
+}  // namespace
+
+// =====================================================================
+// Impl
+// =====================================================================
+
+struct Engine::Impl {
+  Impl(rt::Runtime& rt, const ir::Program& program, const CostModel& cost,
+       ExecMode mode)
+      : rt_(rt), p_(program), cost_(cost), mode_(mode) {}
+
+  rt::RegionForest& forest() { return rt_.forest(); }
+  sim::Simulator& sim() { return rt_.sim(); }
+
+  static sim::Time ns(double v) {
+    return v <= 0 ? 0 : static_cast<sim::Time>(v);
+  }
+
+  // --- scalar environments (versioned, deferred futures) ---------------
+
+  struct ScalarVersion {
+    std::shared_ptr<double> value = std::make_shared<double>(0.0);
+    sim::Event ready;  // value valid once triggered
+  };
+  struct ScalarEnv {
+    std::vector<std::vector<ScalarVersion>> versions;  // per scalar id
+  };
+  std::map<uint32_t, ScalarEnv> envs_;
+
+  ScalarEnv& env(uint32_t id) {
+    auto [it, inserted] = envs_.try_emplace(id);
+    if (inserted) {
+      it->second.versions.resize(p_.scalars.size());
+      if (id == kMainEnv) {
+        for (size_t s = 0; s < p_.scalars.size(); ++s) {
+          ScalarVersion v;
+          *v.value = p_.scalars[s].init;
+          it->second.versions[s].push_back(std::move(v));
+        }
+      } else {
+        // Shard environments replicate the main task's scalar state as
+        // of the shard launch (paper §4.4: scalars are replicated).
+        ScalarEnv& m = env(kMainEnv);
+        for (size_t s = 0; s < p_.scalars.size(); ++s) {
+          it->second.versions[s].push_back(m.versions[s].back());
+        }
+      }
+    }
+    return it->second;
+  }
+  ScalarVersion& latest(uint32_t env_id, ir::ScalarId s) {
+    return env(env_id).versions[s].back();
+  }
+
+  // --- control contexts -------------------------------------------------
+
+  // One per control thread walking the program: the main task, or one
+  // shard. All contexts advance through the statement list in lockstep so
+  // globally shared state (instance sync, collectives, barriers) observes
+  // operations in logical program order.
+  struct Ctx {
+    sim::Processor* proc = nullptr;
+    uint32_t node = 0;
+    uint32_t shard = kMainEnv;  // also the scalar env id
+    sim::Event last;            // last issued control segment
+    std::vector<sim::Event> outstanding;  // ops issued since last barrier
+    std::deque<sim::Event> window;  // in-flight ops (bounded run-ahead)
+  };
+
+  // Bounded run-ahead (Legion's finite pipeline): before issuing another
+  // operation, a control thread whose window is full stalls until its
+  // oldest in-flight operation completes.
+  void gate_window(Ctx& ctx, sim::Event completion) {
+    if (cost_.run_ahead_window == 0) {
+      return;
+    }
+    if (ctx.window.size() >= cost_.run_ahead_window) {
+      ctx.last = sim::Event::merge(sim(), {ctx.last, ctx.window.front()});
+      ctx.window.pop_front();
+    }
+    ctx.window.push_back(completion);
+  }
+
+  sim::Event charge(Ctx& ctx, double cost_ns,
+                    std::function<void()> work = nullptr) {
+    ctx.last = ctx.proc->spawn(ctx.last, ns(cost_ns), std::move(work));
+    return ctx.last;
+  }
+
+  // --- physical instances and per-instance synchronization -------------
+
+  struct InstanceRef {
+    rt::InstanceId inst = rt::kNoId;  // kNoId in virtual-only mode
+    uint32_t node = 0;
+    rt::RegionId region = rt::kNoId;
+    uint32_t key = 0;  // index into sync_
+  };
+  struct SyncEdge {
+    sim::Event event;
+    uint32_t node = 0;
+  };
+  struct InstanceSync {
+    std::vector<SyncEdge> readers;  // since the last write epoch
+    std::vector<SyncEdge> writers;  // the current write epoch
+  };
+
+  std::map<std::pair<rt::PartitionId, uint64_t>, InstanceRef> part_inst_;
+  std::map<rt::RegionId, InstanceRef> root_inst_;
+  std::vector<std::unique_ptr<InstanceSync>> sync_;
+
+  InstanceRef& part_instance(rt::PartitionId p, uint64_t color) {
+    auto [it, inserted] = part_inst_.try_emplace({p, color});
+    if (inserted) {
+      const rt::PartitionNode& pn = forest().partition(p);
+      CR_CHECK(color < pn.subregions.size());
+      it->second.region = pn.subregions[color];
+      it->second.node =
+          rt_.mapper().node_of_color(color, pn.subregions.size());
+      if (rt_.instances() != nullptr) {
+        it->second.inst =
+            rt_.instances()->create(it->second.region, it->second.node);
+      }
+      it->second.key = static_cast<uint32_t>(sync_.size());
+      sync_.push_back(std::make_unique<InstanceSync>());
+    }
+    return it->second;
+  }
+
+  InstanceRef& root_instance(rt::RegionId root) {
+    auto [it, inserted] = root_inst_.try_emplace(root);
+    if (inserted) {
+      it->second.region = root;
+      it->second.node = 0;  // master data lives with the main task
+      if (rt_.instances() != nullptr) {
+        it->second.inst = rt_.instances()->create(root, 0);
+      }
+      it->second.key = static_cast<uint32_t>(sync_.size());
+      sync_.push_back(std::make_unique<InstanceSync>());
+    }
+    return it->second;
+  }
+
+  InstanceSync& sync_of(const InstanceRef& ref) { return *sync_[ref.key]; }
+
+  // Turn a sync edge into a precondition for an op on `node`, charging a
+  // zero-byte notification message when it crosses nodes in SPMD mode
+  // (the point-to-point synchronization of paper §3.4).
+  sim::Event edge_event(const SyncEdge& e, uint32_t node) {
+    if (mode_ == ExecMode::kSpmd && e.node != node) {
+      return rt_.network().send(e.node, node, 0, e.event);
+    }
+    return e.event;
+  }
+  void read_pre(InstanceSync& s, uint32_t node,
+                std::vector<sim::Event>& pre) {
+    for (const SyncEdge& w : s.writers) pre.push_back(edge_event(w, node));
+  }
+  void write_pre(InstanceSync& s, uint32_t node,
+                 std::vector<sim::Event>& pre) {
+    for (const SyncEdge& w : s.writers) pre.push_back(edge_event(w, node));
+    for (const SyncEdge& r : s.readers) pre.push_back(edge_event(r, node));
+  }
+  static void note_read(InstanceSync& s, sim::Event done, uint32_t node) {
+    s.readers.push_back({done, node});
+  }
+  static void note_write(InstanceSync& s, sim::Event done, uint32_t node) {
+    s.writers.assign(1, {done, node});
+    s.readers.clear();
+  }
+
+  // --- intersection tables ----------------------------------------------
+
+  struct PairInfo {
+    uint64_t i = 0, j = 0;
+    support::IntervalSet points;
+  };
+  std::map<ir::IntersectId, std::vector<PairInfo>> tables_;
+  std::map<ir::IntersectId, uint64_t> table_src_colors_;
+  std::map<ir::IntersectId, uint64_t> table_complete_intervals_;
+
+  // --- scalar reduction partials ------------------------------------------
+
+  using Captures =
+      std::vector<std::pair<ir::ScalarId, std::shared_ptr<double>>>;
+
+  struct PendingReduction {
+    std::shared_ptr<std::vector<double>> partials;  // per launch color
+    rt::ReduceOp op = rt::ReduceOp::kSum;
+    uint64_t colors = 0;
+    std::map<uint32_t, std::vector<sim::Event>> events;  // per shard
+  };
+  std::map<ir::ScalarId, PendingReduction> pending_red_;
+
+  std::map<const ir::Stmt*, std::unique_ptr<rt::DynamicCollective>>
+      collectives_;
+  std::map<const ir::Stmt*, std::unique_ptr<rt::PhaseBarrier>> barriers_;
+  std::map<const ir::Stmt*, uint64_t> stmt_gen_;
+
+  // --- timeline trace ------------------------------------------------------
+
+  struct TraceEvent {
+    std::string name;
+    uint32_t node = 0, core = 0;
+    sim::Time end = 0;
+    sim::Time duration = 0;
+  };
+  bool trace_enabled_ = false;
+  std::shared_ptr<std::vector<TraceEvent>> trace_ =
+      std::make_shared<std::vector<TraceEvent>>();
+
+  void trace_op(std::string name, sim::ProcId proc, sim::Time duration,
+                sim::Event completion) {
+    if (!trace_enabled_) return;
+    auto tr = trace_;
+    completion.subscribe(
+        [tr, name = std::move(name), proc, duration](sim::Time end) {
+          tr->push_back({name, proc.node, proc.core, end, duration});
+        });
+  }
+
+  // --- misc ---------------------------------------------------------------
+
+  ExecutionResult result_;
+  std::map<uint32_t, uint64_t> proc_rr_;  // per-node round-robin counter
+  uint64_t op_id_ = 0;
+
+  // Quiescence tracking: every issued operation must complete by the end
+  // of the run; a nonzero count at drain means an event cycle (a
+  // transformation or executor bug), which must fail loudly.
+  struct LiveOps {
+    uint64_t count = 0;
+    std::map<uint64_t, std::string> stuck;  // id -> label
+    uint64_t next = 0;
+  };
+  std::shared_ptr<LiveOps> live_ops_ = std::make_shared<LiveOps>();
+  void track(sim::Event completion, std::string label = {}) {
+    auto live = live_ops_;
+    const uint64_t id = live->next++;
+    ++live->count;
+    live->stuck.emplace(id, std::move(label));
+    completion.subscribe([live, id](sim::Time) {
+      --live->count;
+      live->stuck.erase(id);
+    });
+  }
+
+  // =====================================================================
+  // Unrolling (lockstep across control contexts)
+  // =====================================================================
+
+  void unroll() {
+    std::vector<Ctx> main(1);
+    main[0].node = 0;
+    main[0].shard = kMainEnv;
+    main[0].proc = &rt_.machine().proc(rt_.mapper().control_proc(0));
+    exec_body(p_.body, main, 1);
+  }
+
+  void exec_body(const std::vector<ir::Stmt>& body, std::vector<Ctx>& ctxs,
+                 uint32_t num_shards) {
+    for (const ir::Stmt& s : body) exec_stmt(s, ctxs, num_shards);
+  }
+
+  void exec_stmt(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                 uint32_t num_shards) {
+    switch (s.kind) {
+      case ir::StmtKind::kForTime:
+        for (uint64_t t = 0; t < s.trip_count; ++t) {
+          for (Ctx& c : ctxs) charge(c, cost_.loop_overhead_ns);
+          exec_body(s.body, ctxs, num_shards);
+        }
+        return;
+      case ir::StmtKind::kIndexLaunch:
+        exec_launch(s, ctxs, num_shards);
+        return;
+      case ir::StmtKind::kSingleTask:
+        CR_CHECK(ctxs.size() == 1);
+        exec_single(s, ctxs[0]);
+        return;
+      case ir::StmtKind::kScalarOp:
+        for (Ctx& c : ctxs) exec_scalar_op(s, c);
+        return;
+      case ir::StmtKind::kCopy:
+        exec_copy(s, ctxs, num_shards);
+        return;
+      case ir::StmtKind::kFill:
+        exec_fill(s, ctxs, num_shards);
+        return;
+      case ir::StmtKind::kBarrier:
+        exec_barrier(s, ctxs, num_shards);
+        return;
+      case ir::StmtKind::kIntersect:
+        CR_CHECK(ctxs.size() == 1);
+        exec_intersect(s, ctxs[0]);
+        return;
+      case ir::StmtKind::kCollective:
+        exec_collective(s, ctxs, num_shards);
+        return;
+      case ir::StmtKind::kShardBody:
+        exec_shards(s, ctxs);
+        return;
+    }
+    CR_UNREACHABLE("bad statement kind");
+  }
+
+  // --- shards ---------------------------------------------------------------
+
+  void exec_shards(const ir::Stmt& s, std::vector<Ctx>& main) {
+    CR_CHECK_MSG(mode_ == ExecMode::kSpmd,
+                 "shard body reached in implicit mode");
+    CR_CHECK(main.size() == 1);
+    const uint32_t num_shards = s.num_shards;
+    std::vector<Ctx> shards(num_shards);
+    for (uint32_t x = 0; x < num_shards; ++x) {
+      shards[x].shard = x;
+      shards[x].node = rt_.mapper().shard_node(x, num_shards);
+      shards[x].proc =
+          &rt_.machine().proc(rt_.mapper().control_proc(shards[x].node));
+      shards[x].last = main[0].last;  // shards start once the main task
+                                      // has issued them
+      // Per-shard cost of the complete intersections for owned pairs
+      // (paper §3.3: computed inside the individual shards).
+      double complete_ns = 0;
+      for (const auto& [id, pairs] : tables_) {
+        const uint64_t src_colors = table_src_colors_.at(id);
+        for (const PairInfo& pi : pairs) {
+          if (owner_shard(pi.i, src_colors, num_shards) == x) {
+            complete_ns += cost_.isect_complete_per_interval_ns *
+                           static_cast<double>(pi.points.interval_count());
+          }
+        }
+      }
+      if (complete_ns > 0) charge(shards[x], complete_ns);
+    }
+    exec_body(s.body, shards, num_shards);
+    // The main task resumes after the shard launch itself (deferred); the
+    // finalization copies it issues synchronize through instance events.
+    charge(main[0], cost_.single_task_issue_ns);
+  }
+
+  static uint32_t owner_shard(uint64_t color, uint64_t colors,
+                              uint32_t num_shards) {
+    const uint64_t base = colors / num_shards;
+    const uint64_t rem = colors % num_shards;
+    const uint64_t cut = rem * (base + 1);
+    if (color < cut) return static_cast<uint32_t>(color / (base + 1));
+    if (base == 0) return num_shards - 1;
+    return static_cast<uint32_t>(rem + (color - cut) / base);
+  }
+
+  // --- launches --------------------------------------------------------------
+
+  void exec_launch(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                   uint32_t num_shards) {
+    const ir::TaskDecl& decl = p_.task(s.task);
+
+    PendingReduction* red = nullptr;
+    if (s.scalar_red) {
+      PendingReduction& pr = pending_red_[s.scalar_red->target];
+      pr.partials = std::make_shared<std::vector<double>>(
+          s.launch_colors, rt::reduce_identity(s.scalar_red->op));
+      pr.op = s.scalar_red->op;
+      pr.colors = s.launch_colors;
+      pr.events.clear();
+      red = &pr;
+    }
+
+    for (Ctx& ctx : ctxs) {
+      uint64_t begin = 0, end = s.launch_colors;
+      if (ctx.shard != kMainEnv) {
+        auto r = passes::shard_block(s.launch_colors, num_shards, ctx.shard);
+        begin = r.begin;
+        end = r.end;
+      }
+      for (uint64_t i = begin; i < end; ++i) {
+        issue_point_task(s, decl, i, ctx, red);
+      }
+    }
+  }
+
+  void issue_point_task(const ir::Stmt& s, const ir::TaskDecl& decl,
+                        uint64_t color, Ctx& ctx, PendingReduction* red) {
+    ++result_.point_tasks;
+    ++op_id_;
+
+    double issue_ns = mode_ == ExecMode::kImplicit ? cost_.implicit_launch_ns
+                                                   : cost_.shard_launch_ns;
+
+    std::vector<sim::Event> pre;
+    sim::UserEvent done(sim());
+    const uint32_t exec_node =
+        rt_.mapper().node_of_color(color, s.launch_colors);
+
+    // Phase 1: bind instances and collect every precondition *before*
+    // registering this task anywhere — a task passing the same region
+    // through several arguments must not depend on itself.
+    std::vector<InstanceRef*> insts(s.args.size());
+    for (size_t k = 0; k < s.args.size(); ++k) {
+      const ir::RegionArg& a = s.args[k];
+      insts[k] = &part_instance(a.partition, a.proj(color));
+      InstanceSync& sy = sync_of(*insts[k]);
+      if (rt::privilege_writes(a.privilege) ||
+          a.privilege == rt::Privilege::kReduce) {
+        write_pre(sy, exec_node, pre);
+      } else {
+        read_pre(sy, exec_node, pre);
+      }
+      // Implicit mode: the master performs dynamic dependence analysis
+      // over the logical region tree; charge the real pairs tested.
+      if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
+        const uint64_t before = rt_.deps().pairs_tested();
+        rt::Requirement req{insts[k]->region, a.privilege, a.redop, a.fields};
+        auto deps = rt_.deps().record(op_id_, req, done.event());
+        pre.insert(pre.end(), deps.begin(), deps.end());
+        issue_ns += cost_.dep_pair_ns *
+                    static_cast<double>(rt_.deps().pairs_tested() - before);
+      }
+    }
+    // Phase 2: register as a user — writes first so a read-and-write use
+    // of one instance ends in a write epoch that includes this task.
+    for (size_t k = 0; k < s.args.size(); ++k) {
+      const ir::RegionArg& a = s.args[k];
+      if (rt::privilege_writes(a.privilege) ||
+          a.privilege == rt::Privilege::kReduce) {
+        note_write(sync_of(*insts[k]), done.event(), exec_node);
+      }
+    }
+    for (size_t k = 0; k < s.args.size(); ++k) {
+      const ir::RegionArg& a = s.args[k];
+      if (!rt::privilege_writes(a.privilege) &&
+          a.privilege != rt::Privilege::kReduce) {
+        note_read(sync_of(*insts[k]), done.event(), exec_node);
+      }
+    }
+
+    // Scalar argument capture: bind the scalar versions current at issue.
+    auto captures = std::make_shared<Captures>();
+    for (ir::ScalarId a : s.scalar_args) {
+      ScalarVersion& v = latest(ctx.shard, a);
+      pre.push_back(v.ready);
+      captures->push_back({a, v.value});
+    }
+
+    pre.push_back(charge(ctx, issue_ns));
+
+    double duration =
+        decl.cost_base_ns +
+        decl.cost_per_elem_ns *
+            static_cast<double>(
+                forest().region(insts[decl.domain_param]->region)
+                    .ispace.size());
+    if (cost_.task_slow_prob > 0) {
+      uint64_t h = op_id_ * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull;
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 31;
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u < cost_.task_slow_prob) duration *= 1.0 + cost_.task_slow_frac;
+    }
+    if (cost_.task_jitter_pct > 0) {
+      // splitmix-style hash of the op id: deterministic noise.
+      uint64_t h = op_id_ + 0x9e3779b97f4a7c15ull;
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+      duration *= 1.0 + cost_.task_jitter_pct *
+                            static_cast<double>((h ^ (h >> 31)) >> 11) *
+                            0x1.0p-53;
+    }
+
+    std::function<void()> work;
+    if (rt_.instances() != nullptr && decl.kernel) {
+      work = make_kernel_work(decl, color, insts, captures, red);
+    }
+    sim::ProcId proc =
+        rt_.mapper().compute_proc(exec_node, proc_rr_[exec_node]++);
+    sim::Event task_done = rt_.machine().proc(proc).spawn(
+        sim::Event::merge(sim(), pre), ns(duration), std::move(work));
+    task_done.subscribe([done](sim::Time) mutable { done.trigger(); });
+    trace_op(decl.name + "[" + std::to_string(color) + "]", proc,
+             ns(duration), task_done);
+
+    ctx.outstanding.push_back(done.event());
+    track(done.event(), "task " + decl.name + "[" + std::to_string(color) + "]");
+    gate_window(ctx, done.event());
+    if (red != nullptr) {
+      red->events[ctx.shard == kMainEnv ? 0 : ctx.shard].push_back(
+          done.event());
+    }
+  }
+
+  std::function<void()> make_kernel_work(
+      const ir::TaskDecl& decl, uint64_t color,
+      const std::vector<InstanceRef*>& insts,
+      std::shared_ptr<Captures> captures, PendingReduction* red);
+
+  // --- single tasks ------------------------------------------------------
+
+  void exec_single(const ir::Stmt& s, Ctx& ctx) {
+    const ir::TaskDecl& decl = p_.task(s.task);
+    std::vector<sim::Event> pre;
+    sim::UserEvent done(sim());
+    std::vector<InstanceRef*> insts(s.regions.size());
+    for (size_t k = 0; k < s.regions.size(); ++k) {
+      CR_CHECK_MSG(forest().region(s.regions[k]).parent == rt::kNoId,
+                   "single tasks run on root regions");
+      insts[k] = &root_instance(s.regions[k]);
+      InstanceSync& sy = sync_of(*insts[k]);
+      const ir::TaskParam& param = decl.params[k];
+      if (rt::privilege_writes(param.privilege) ||
+          param.privilege == rt::Privilege::kReduce) {
+        write_pre(sy, 0, pre);
+      } else {
+        read_pre(sy, 0, pre);
+      }
+    }
+    for (size_t k = 0; k < s.regions.size(); ++k) {
+      const ir::TaskParam& param = decl.params[k];
+      if (rt::privilege_writes(param.privilege) ||
+          param.privilege == rt::Privilege::kReduce) {
+        note_write(sync_of(*insts[k]), done.event(), 0);
+      }
+    }
+    for (size_t k = 0; k < s.regions.size(); ++k) {
+      const ir::TaskParam& param = decl.params[k];
+      if (!rt::privilege_writes(param.privilege) &&
+          param.privilege != rt::Privilege::kReduce) {
+        note_read(sync_of(*insts[k]), done.event(), 0);
+      }
+    }
+    auto captures = std::make_shared<Captures>();
+    for (ir::ScalarId a : s.scalar_args) {
+      ScalarVersion& v = latest(kMainEnv, a);
+      pre.push_back(v.ready);
+      captures->push_back({a, v.value});
+    }
+    pre.push_back(charge(ctx, cost_.single_task_issue_ns));
+
+    const double duration =
+        decl.cost_base_ns +
+        decl.cost_per_elem_ns *
+            static_cast<double>(
+                forest().region(insts[decl.domain_param]->region)
+                    .ispace.size());
+    std::function<void()> work;
+    if (rt_.instances() != nullptr && decl.kernel) {
+      work = make_kernel_work(decl, 0, insts, captures, nullptr);
+    }
+    sim::ProcId proc = rt_.mapper().compute_proc(0, proc_rr_[0]++);
+    sim::Event task_done = rt_.machine().proc(proc).spawn(
+        sim::Event::merge(sim(), pre), ns(duration), std::move(work));
+    task_done.subscribe([done](sim::Time) mutable { done.trigger(); });
+    ctx.outstanding.push_back(done.event());
+    track(done.event(), "single " + decl.name);
+  }
+
+  // --- scalar ops -----------------------------------------------------------
+
+  void exec_scalar_op(const ir::Stmt& s, Ctx& ctx) {
+    // Deferred scalar dataflow (futures): the new versions become ready
+    // once the read versions are; the control chain does not block.
+    std::vector<sim::Event> ready;
+    auto inputs = std::make_shared<Captures>();
+    for (ir::ScalarId r : s.scalar_reads) {
+      ScalarVersion& v = latest(ctx.shard, r);
+      ready.push_back(v.ready);
+      inputs->push_back({r, v.value});
+    }
+    charge(ctx, cost_.scalar_op_ns);
+
+    sim::UserEvent computed(sim());
+    std::vector<std::shared_ptr<double>> outs;
+    for (ir::ScalarId w : s.scalar_writes) {
+      ScalarVersion v;
+      v.ready = computed.event();
+      outs.push_back(v.value);
+      env(ctx.shard).versions[w].push_back(std::move(v));
+    }
+    auto fn = s.scalar_fn;
+    const size_t nscalars = p_.scalars.size();
+    auto writes = s.scalar_writes;
+    sim::Event all = sim::Event::merge(sim(), ready);
+    all.subscribe([fn, inputs, outs, writes, nscalars,
+                   computed](sim::Time) mutable {
+      std::vector<double> env_in(nscalars, 0.0);
+      for (auto& [id, val] : *inputs) env_in[id] = *val;
+      std::vector<double> env_out = env_in;
+      fn(env_in, env_out);
+      for (size_t k = 0; k < writes.size(); ++k) {
+        *outs[k] = env_out[writes[k]];
+      }
+      computed.trigger();
+    });
+  }
+
+  // --- copies -----------------------------------------------------------------
+
+  std::vector<PairInfo> copy_pairs(const ir::Stmt& s) {
+    std::vector<PairInfo> pairs;
+    if (s.src_root != rt::kNoId) {
+      const rt::PartitionNode& pn = forest().partition(s.copy_dst);
+      for (uint64_t j = 0; j < pn.subregions.size(); ++j) {
+        pairs.push_back(
+            {0, j, forest().region(pn.subregions[j]).ispace.points()});
+      }
+      return pairs;
+    }
+    if (s.dst_root != rt::kNoId) {
+      const rt::PartitionNode& pn = forest().partition(s.copy_src);
+      for (uint64_t i = 0; i < pn.subregions.size(); ++i) {
+        pairs.push_back(
+            {i, 0, forest().region(pn.subregions[i]).ispace.points()});
+      }
+      return pairs;
+    }
+    if (s.isect != ir::kNoIntersect) return tables_.at(s.isect);
+    // All-pairs form (paper §3.3's O(N^2) baseline; empty pairs still
+    // cost issue overhead).
+    const rt::PartitionNode& ps = forest().partition(s.copy_src);
+    const rt::PartitionNode& pd = forest().partition(s.copy_dst);
+    for (uint64_t i = 0; i < ps.subregions.size(); ++i) {
+      for (uint64_t j = 0; j < pd.subregions.size(); ++j) {
+        pairs.push_back({i, j,
+                         rt::complete_intersection(forest(), ps.subregions[i],
+                                                   pd.subregions[j])});
+      }
+    }
+    return pairs;
+  }
+
+  void exec_copy(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                 uint32_t num_shards) {
+    const std::vector<PairInfo> pairs = copy_pairs(s);
+    const uint64_t src_colors =
+        s.copy_src == rt::kNoId
+            ? 1
+            : forest().partition(s.copy_src).subregions.size();
+    for (Ctx& ctx : ctxs) {
+      for (const PairInfo& pi : pairs) {
+        // Sharded execution: the producer shard issues the copy
+        // (sequential semantics on the producer side, paper §3.4).
+        if (ctx.shard != kMainEnv && s.copy_src != rt::kNoId &&
+            owner_shard(pi.i, src_colors, num_shards) != ctx.shard) {
+          continue;
+        }
+        issue_one_copy(s, pi, ctx);
+      }
+    }
+  }
+
+  void issue_one_copy(const ir::Stmt& s, const PairInfo& pi, Ctx& ctx) {
+    rt::CopyRequest req;
+    req.fields = s.copy_fields;
+    req.reduction = s.copy_reduction;
+    req.redop = s.copy_redop;
+    req.points = pi.points;
+
+    InstanceRef* src;
+    InstanceRef* dst;
+    if (s.src_root != rt::kNoId) {
+      src = &root_instance(s.src_root);
+    } else {
+      src = &part_instance(s.copy_src, pi.i);
+    }
+    if (s.dst_root != rt::kNoId) {
+      dst = &root_instance(s.dst_root);
+    } else {
+      dst = &part_instance(s.copy_dst, pi.j);
+    }
+    req.src_region = src->region;
+    req.src_node = src->node;
+    req.src_inst = src->inst;
+    req.dst_region = dst->region;
+    req.dst_node = dst->node;
+    req.dst_inst = dst->inst;
+
+    if (req.points.empty()) {
+      // Issue overhead is still paid — this is what §3.3 optimizes away.
+      charge(ctx, cost_.copy_issue_ns);
+      ++result_.copies_skipped;
+      return;
+    }
+
+    std::vector<sim::Event> pre;
+    InstanceSync& ssy = sync_of(*src);
+    InstanceSync& dsy = sync_of(*dst);
+    read_pre(ssy, req.src_node, pre);
+    // Destination side: WAR against current readers, WAW against the
+    // current write epoch. Reduction copies serialize the same way, which
+    // fixes their fold order deterministically (issue order).
+    write_pre(dsy, req.dst_node, pre);
+    double issue_ns = cost_.copy_issue_ns;
+    if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
+      // The master's dynamic analysis also covers runtime copies.
+      sim::UserEvent completion(sim());
+      const uint64_t before = rt_.deps().pairs_tested();
+      ++op_id_;
+      rt::Requirement rr{req.src_region, rt::Privilege::kReadOnly,
+                         rt::ReduceOp::kSum, req.fields};
+      auto d1 = rt_.deps().record(op_id_, rr, completion.event());
+      rt::Requirement wr{req.dst_region, rt::Privilege::kReadWrite,
+                         rt::ReduceOp::kSum, req.fields};
+      auto d2 = rt_.deps().record(op_id_, wr, completion.event());
+      pre.insert(pre.end(), d1.begin(), d1.end());
+      pre.insert(pre.end(), d2.begin(), d2.end());
+      issue_ns += cost_.dep_pair_ns *
+                  static_cast<double>(rt_.deps().pairs_tested() - before);
+      pre.push_back(charge(ctx, issue_ns));
+      sim::Event delivered =
+          rt_.copies().issue(req, sim::Event::merge(sim(), pre));
+      delivered.subscribe(
+          [completion](sim::Time) mutable { completion.trigger(); });
+      note_read(ssy, delivered, req.src_node);
+      note_write(dsy, delivered, req.dst_node);
+      ctx.outstanding.push_back(delivered);
+      return;
+    }
+
+    pre.push_back(charge(ctx, issue_ns));
+    sim::Event delivered =
+        rt_.copies().issue(req, sim::Event::merge(sim(), pre));
+    note_read(ssy, delivered, req.src_node);
+    note_write(dsy, delivered, req.dst_node);
+    ctx.outstanding.push_back(delivered);
+  }
+
+  // --- fills -------------------------------------------------------------------
+
+  void exec_fill(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                 uint32_t num_shards) {
+    const rt::PartitionNode& pn = forest().partition(s.fill_dst);
+    const uint64_t colors = pn.subregions.size();
+    for (Ctx& ctx : ctxs) {
+      uint64_t begin = 0, end = colors;
+      if (ctx.shard != kMainEnv) {
+        auto r = passes::shard_block(colors, num_shards, ctx.shard);
+        begin = r.begin;
+        end = r.end;
+      }
+      for (uint64_t c = begin; c < end; ++c) {
+        InstanceRef& ref = part_instance(s.fill_dst, c);
+        InstanceSync& sy = sync_of(ref);
+        std::vector<sim::Event> pre;
+        write_pre(sy, ref.node, pre);
+        pre.push_back(charge(ctx, cost_.fill_issue_ns));
+        std::function<void()> work;
+        if (rt_.instances() != nullptr) {
+          auto* mgr = rt_.instances();
+          const rt::InstanceId inst = ref.inst;
+          auto fields = s.fill_fields;
+          const double value = s.fill_value;
+          work = [mgr, inst, fields, value] {
+            for (rt::FieldId f : fields) mgr->get(inst).fill_f64(f, value);
+          };
+        }
+        sim::ProcId proc =
+            rt_.mapper().compute_proc(ref.node, proc_rr_[ref.node]++);
+        sim::Event done = rt_.machine().proc(proc).spawn(
+            sim::Event::merge(sim(), pre), ns(500), std::move(work));
+        note_write(sy, done, ref.node);
+        ctx.outstanding.push_back(done);
+        track(done, "fill " + std::to_string(s.fill_dst) + "[" +
+                        std::to_string(c) + "]");
+      }
+    }
+  }
+
+  // --- barriers ------------------------------------------------------------------
+
+  void exec_barrier(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                    uint32_t num_shards) {
+    auto [it, inserted] = barriers_.try_emplace(&s);
+    if (inserted) {
+      it->second = std::make_unique<rt::PhaseBarrier>(sim(), rt_.network(),
+                                                      num_shards);
+    }
+    const uint64_t gen = stmt_gen_[&s]++;
+    for (Ctx& ctx : ctxs) {
+      // Arrive once everything this shard issued so far has completed;
+      // the control chain resumes after the barrier releases.
+      std::vector<sim::Event> outstanding = std::move(ctx.outstanding);
+      ctx.outstanding.clear();
+      outstanding.push_back(ctx.last);
+      it->second->arrive(gen, sim::Event::merge(sim(), outstanding));
+      ctx.last = sim::Event::merge(sim(), {ctx.last, it->second->wait(gen)});
+    }
+  }
+
+  // --- intersections ----------------------------------------------------------------
+
+  void exec_intersect(const ir::Stmt& s, Ctx& ctx) {
+    const rt::PartitionNode& ps = forest().partition(s.isect_src);
+    const rt::PartitionNode& pd = forest().partition(s.isect_dst);
+    uint64_t intervals = 0;
+    for (rt::RegionId r : ps.subregions) {
+      intervals += forest().region(r).ispace.points().interval_count();
+    }
+    for (rt::RegionId r : pd.subregions) {
+      intervals += forest().region(r).ispace.points().interval_count();
+    }
+    auto pairs =
+        rt::shallow_intersections(forest(), s.isect_src, s.isect_dst);
+    std::vector<PairInfo> infos;
+    uint64_t complete_intervals = 0;
+    for (const auto& pr : pairs) {
+      PairInfo pi;
+      pi.i = pr.src_color;
+      pi.j = pr.dst_color;
+      pi.points = rt::complete_intersection(
+          forest(), ps.subregions[pr.src_color], pd.subregions[pr.dst_color]);
+      complete_intervals += pi.points.interval_count();
+      if (!pi.points.empty()) infos.push_back(std::move(pi));
+    }
+    result_.intersection_pairs += infos.size();
+    tables_[s.isect_id] = std::move(infos);
+    table_src_colors_[s.isect_id] = ps.subregions.size();
+    table_complete_intervals_[s.isect_id] = complete_intervals;
+
+    // The shallow pass runs on the issuing node (paper: a single node);
+    // the complete sets are charged per shard at shard start for SPMD,
+    // or here for implicit mode.
+    charge(ctx, cost_.isect_shallow_per_interval_ns *
+                    static_cast<double>(intervals));
+    if (mode_ == ExecMode::kImplicit) {
+      charge(ctx, cost_.isect_complete_per_interval_ns *
+                      static_cast<double>(complete_intervals));
+    }
+  }
+
+  // --- collectives ------------------------------------------------------------------
+
+  void exec_collective(const ir::Stmt& s, std::vector<Ctx>& ctxs,
+                       uint32_t num_shards) {
+    auto it = pending_red_.find(s.coll_scalar);
+    CR_CHECK_MSG(it != pending_red_.end(),
+                 "collective without a preceding scalar-reduction launch");
+    PendingReduction& pr = it->second;
+
+    if (ctxs.size() == 1 && ctxs[0].shard == kMainEnv) {
+      // Implicit / main-task fold: new version ready when all point tasks
+      // have contributed; folded in color order (deterministic).
+      Ctx& ctx = ctxs[0];
+      charge(ctx, cost_.collective_issue_ns);
+      std::vector<sim::Event> evs;
+      for (auto& [sh, list] : pr.events) {
+        evs.insert(evs.end(), list.begin(), list.end());
+      }
+      ScalarVersion v;
+      sim::UserEvent readyev(sim());
+      v.ready = readyev.event();
+      auto value = v.value;
+      auto partials = pr.partials;
+      const rt::ReduceOp op = pr.op;
+      env(kMainEnv).versions[s.coll_scalar].push_back(std::move(v));
+      sim::Event all = sim::Event::merge(sim(), evs);
+      all.subscribe([value, partials, op, readyev](sim::Time) mutable {
+        double acc = rt::reduce_identity(op);
+        for (double d : *partials) acc = rt::reduce_fold(op, acc, d);
+        *value = acc;
+        readyev.trigger();
+      });
+      return;
+    }
+
+    // SPMD: dynamic collective over the shards (paper §4.4).
+    auto [cit, inserted] = collectives_.try_emplace(&s);
+    if (inserted) {
+      cit->second = std::make_unique<rt::DynamicCollective>(
+          sim(), rt_.network(), num_shards, pr.op);
+    }
+    rt::DynamicCollective* dc = cit->second.get();
+    const uint64_t gen = stmt_gen_[&s]++;
+    for (Ctx& ctx : ctxs) {
+      charge(ctx, cost_.collective_issue_ns);
+      auto partials = pr.partials;
+      const rt::ReduceOp op = pr.op;
+      auto block = passes::shard_block(pr.colors, num_shards, ctx.shard);
+      sim::Event local = sim::Event::merge(sim(), pr.events[ctx.shard]);
+      dc->contribute(gen, ctx.shard, local, [partials, op, block] {
+        double acc = rt::reduce_identity(op);
+        for (uint64_t c = block.begin; c < block.end; ++c) {
+          acc = rt::reduce_fold(op, acc, (*partials)[c]);
+        }
+        return acc;
+      });
+      ScalarVersion v;
+      sim::UserEvent readyev(sim());
+      v.ready = readyev.event();
+      auto value = v.value;
+      env(ctx.shard).versions[s.coll_scalar].push_back(std::move(v));
+      dc->result_event(gen).subscribe(
+          [value, dc, gen, readyev](sim::Time) mutable {
+            *value = dc->result(gen);
+            readyev.trigger();
+          });
+    }
+  }
+
+  // ---------------------------------------------------------------------
+
+  rt::Runtime& rt_;
+  const ir::Program& p_;
+  CostModel cost_;
+  ExecMode mode_;
+};
+
+// ---------------------------------------------------------------------
+// Kernel context bound to partition instances.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class EngineContext final : public ir::TaskContext {
+ public:
+  EngineContext(rt::InstanceManager& mgr, const ir::TaskDecl& decl)
+      : mgr_(mgr), decl_(decl) {}
+
+  std::vector<rt::InstanceId> insts;
+  std::vector<const rt::IndexSpace*> domains;
+  const rt::IndexSpace* launch_domain = nullptr;
+  const std::vector<std::pair<ir::ScalarId, std::shared_ptr<double>>>*
+      captures = nullptr;
+  double* red_slot = nullptr;
+  rt::ReduceOp red_op = rt::ReduceOp::kSum;
+
+  const rt::IndexSpace& domain() const override { return *launch_domain; }
+  const rt::IndexSpace& param_domain(size_t k) const override {
+    return *domains[k];
+  }
+  double read_f64(size_t k, rt::FieldId f, uint64_t pt) const override {
+    CR_DCHECK(rt::privilege_reads(decl_.params[k].privilege));
+    return mgr_.get(insts[k]).read_f64(f, pt);
+  }
+  void write_f64(size_t k, rt::FieldId f, uint64_t pt, double v) override {
+    CR_DCHECK(rt::privilege_writes(decl_.params[k].privilege));
+    mgr_.get(insts[k]).write_f64(f, pt, v);
+  }
+  int64_t read_i64(size_t k, rt::FieldId f, uint64_t pt) const override {
+    CR_DCHECK(rt::privilege_reads(decl_.params[k].privilege));
+    return mgr_.get(insts[k]).read_i64(f, pt);
+  }
+  void write_i64(size_t k, rt::FieldId f, uint64_t pt, int64_t v) override {
+    CR_DCHECK(rt::privilege_writes(decl_.params[k].privilege));
+    mgr_.get(insts[k]).write_i64(f, pt, v);
+  }
+  void reduce_f64(size_t k, rt::FieldId f, uint64_t pt, double v) override {
+    CR_DCHECK(decl_.params[k].privilege == rt::Privilege::kReduce);
+    mgr_.get(insts[k]).reduce_f64(f, pt, decl_.params[k].redop, v);
+  }
+  double scalar(ir::ScalarId s) const override {
+    if (captures != nullptr) {
+      for (const auto& [id, val] : *captures) {
+        if (id == s) return *val;
+      }
+    }
+    CR_CHECK_MSG(false, "scalar not captured by this task");
+  }
+  void reduce_scalar(double v) override {
+    CR_CHECK_MSG(red_slot != nullptr, "no scalar reduction on this launch");
+    *red_slot = rt::reduce_fold(red_op, *red_slot, v);
+  }
+
+ private:
+  rt::InstanceManager& mgr_;
+  const ir::TaskDecl& decl_;
+};
+
+}  // namespace
+
+std::function<void()> Engine::Impl::make_kernel_work(
+    const ir::TaskDecl& decl, uint64_t color,
+    const std::vector<InstanceRef*>& insts, std::shared_ptr<Captures> captures,
+    PendingReduction* red) {
+  auto ids = std::make_shared<std::vector<rt::InstanceId>>();
+  auto doms = std::make_shared<std::vector<const rt::IndexSpace*>>();
+  for (const InstanceRef* r : insts) {
+    ids->push_back(r->inst);
+    doms->push_back(&forest().region(r->region).ispace);
+  }
+  auto* mgr = rt_.instances();
+  const ir::TaskDecl* decl_ptr = &decl;
+  std::shared_ptr<std::vector<double>> partials =
+      red != nullptr ? red->partials : nullptr;
+  const rt::ReduceOp op = red != nullptr ? red->op : rt::ReduceOp::kSum;
+  const size_t domain_param = decl.domain_param;
+  return [mgr, decl_ptr, ids, doms, captures, partials, op, color,
+          domain_param] {
+    EngineContext ctx(*mgr, *decl_ptr);
+    ctx.insts = *ids;
+    ctx.domains = *doms;
+    ctx.launch_domain = (*doms)[domain_param];
+    ctx.captures = captures.get();
+    double slot = rt::reduce_identity(op);
+    if (partials) {
+      ctx.red_slot = &slot;
+      ctx.red_op = op;
+    }
+    decl_ptr->kernel(ctx);
+    if (partials) (*partials)[color] = slot;
+  };
+}
+
+// =====================================================================
+// Engine
+// =====================================================================
+
+Engine::Engine(rt::Runtime& rt, const ir::Program& program,
+               const CostModel& cost, ExecMode mode)
+    : impl_(std::make_unique<Impl>(rt, program, cost, mode)) {}
+
+Engine::~Engine() = default;
+
+ExecutionResult Engine::run() {
+  impl_->unroll();
+  impl_->result_.makespan_ns = impl_->sim().run();
+  if (impl_->live_ops_->count != 0) {
+    std::string msg = "execution did not quiesce; stuck ops:";
+    int shown = 0;
+    for (const auto& [id, label] : impl_->live_ops_->stuck) {
+      msg += "\n  " + label;
+      if (++shown >= 20) break;
+    }
+    CR_CHECK_MSG(false, msg.c_str());
+  }
+  impl_->result_.copies_issued = impl_->rt_.copies().copies_issued();
+  impl_->result_.copies_skipped +=
+      impl_->rt_.copies().copies_skipped_empty();
+  impl_->result_.bytes_moved = impl_->rt_.copies().bytes_moved();
+  impl_->result_.messages = impl_->rt_.network().messages_sent();
+  impl_->result_.dep_pairs_tested = impl_->rt_.deps().pairs_tested();
+  impl_->result_.control_busy_ns =
+      impl_->rt_.machine()
+          .proc(impl_->rt_.mapper().control_proc(0))
+          .busy_time();
+  return impl_->result_;
+}
+
+void Engine::enable_trace() { impl_->trace_enabled_ = true; }
+
+void Engine::write_trace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  CR_CHECK_MSG(f != nullptr, "cannot open trace file");
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const auto& ev : *impl_->trace_) {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":%u,\"tid\":%u}",
+                 ev.name.c_str(),
+                 static_cast<double>(ev.end - ev.duration) / 1000.0,
+                 static_cast<double>(ev.duration) / 1000.0, ev.node,
+                 ev.core);
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+}
+
+double Engine::read_root_f64(rt::RegionId root, rt::FieldId f,
+                             uint64_t pt) const {
+  auto& ref = impl_->root_instance(root);
+  CR_CHECK_MSG(ref.inst != rt::kNoId, "virtual-only run has no data");
+  return impl_->rt_.instances()->get(ref.inst).read_f64(f, pt);
+}
+
+int64_t Engine::read_root_i64(rt::RegionId root, rt::FieldId f,
+                              uint64_t pt) const {
+  auto& ref = impl_->root_instance(root);
+  CR_CHECK_MSG(ref.inst != rt::kNoId, "virtual-only run has no data");
+  return impl_->rt_.instances()->get(ref.inst).read_i64(f, pt);
+}
+
+double Engine::scalar(ir::ScalarId id) const {
+  // SPMD executions evolve scalars in the replicated shard environments;
+  // they are identical across shards, so report shard 0's view. Implicit
+  // executions use the main environment.
+  const uint32_t env_id = impl_->envs_.count(0) ? 0u : kMainEnv;
+  return *impl_->latest(env_id, id).value;
+}
+
+}  // namespace cr::exec

@@ -1,0 +1,76 @@
+// The execution engine: interprets transformed programs on the simulated
+// machine, in two modes.
+//
+//  - kImplicit (paper's "Regent w/o CR"): a single control thread on
+//    node 0 issues every point task and every runtime copy in the
+//    machine, paying dependence analysis and mapping costs per operation
+//    — the O(N) control bottleneck of paper §1.
+//  - kSpmd (paper's "Regent with CR"): one long-running shard control
+//    thread per node issues only its owned operations; cross-shard
+//    coherence comes from the compiler-inserted copies and point-to-point
+//    synchronization (events attached to producers and consumers), and
+//    scalar reductions use dynamic collectives.
+//
+// Execution is deferred (paper §4.1): control threads never block; they
+// emit operations whose preconditions are events, and the DES resolves
+// the timeline. In real-data mode kernels and copies move actual field
+// data, which is how the transformation is validated against the
+// sequential oracle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.h"
+#include "ir/program.h"
+#include "rt/barrier.h"
+#include "rt/collective.h"
+#include "rt/runtime.h"
+
+namespace cr::exec {
+
+enum class ExecMode { kImplicit, kSpmd };
+
+struct ExecutionResult {
+  sim::Time makespan_ns = 0;
+  uint64_t point_tasks = 0;
+  uint64_t copies_issued = 0;
+  uint64_t copies_skipped = 0;
+  uint64_t bytes_moved = 0;
+  uint64_t messages = 0;
+  uint64_t dep_pairs_tested = 0;
+  uint64_t intersection_pairs = 0;
+  sim::Time control_busy_ns = 0;  // busy time of the node-0 control core
+};
+
+class Engine {
+ public:
+  // `program` must already be transformed (prepare_distributed for
+  // kImplicit, control_replicate for kSpmd) and must outlive the engine.
+  Engine(rt::Runtime& rt, const ir::Program& program, const CostModel& cost,
+         ExecMode mode);
+  ~Engine();
+
+  // Unrolls the program into the simulator and runs it to completion.
+  ExecutionResult run();
+
+  // Record the virtual timeline of every point task; call before run().
+  void enable_trace();
+  // Write the recorded timeline as a Chrome trace-event JSON file
+  // (open in chrome://tracing or Perfetto): pid = node, tid = core.
+  void write_trace(const std::string& path) const;
+
+  // Post-run access to results (real-data mode).
+  double read_root_f64(rt::RegionId root, rt::FieldId f, uint64_t pt) const;
+  int64_t read_root_i64(rt::RegionId root, rt::FieldId f, uint64_t pt) const;
+  // Final value of a scalar in the main (or implicit) environment.
+  double scalar(ir::ScalarId id) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cr::exec

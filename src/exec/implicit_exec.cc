@@ -1,0 +1,27 @@
+#include "exec/implicit_exec.h"
+
+namespace cr::exec {
+
+rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
+                                 const CostModel& cost, bool real_data) {
+  rt::RuntimeConfig config;
+  config.machine.nodes = nodes;
+  config.machine.cores_per_node = cores_per_node;
+  config.network = cost.network;
+  config.mapper.reserved_cores = cost.reserved_cores;
+  config.real_data = real_data;
+  return config;
+}
+
+PreparedRun prepare_implicit(rt::Runtime& rt, ir::Program source,
+                             const CostModel& cost,
+                             passes::PipelineOptions options) {
+  PreparedRun out;
+  out.program = std::make_unique<ir::Program>(std::move(source));
+  out.report = passes::prepare_distributed(*out.program, options);
+  out.engine = std::make_unique<Engine>(rt, *out.program, cost,
+                                        ExecMode::kImplicit);
+  return out;
+}
+
+}  // namespace cr::exec

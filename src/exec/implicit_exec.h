@@ -1,0 +1,33 @@
+// The implicit-parallelism executor ("Regent w/o CR"): prepares the
+// source program for distributed memory (projection normalization, data
+// replication, reductions, placement, intersections — the work Legion's
+// runtime performs) and interprets it with a single control thread on
+// node 0 that issues every point task and every copy in the machine.
+#pragma once
+
+#include <memory>
+
+#include "exec/engine.h"
+#include "passes/pipeline.h"
+
+namespace cr::exec {
+
+// A transformed program plus the engine bound to it. Heap-allocates the
+// program so the engine's reference stays valid across moves.
+struct PreparedRun {
+  std::unique_ptr<ir::Program> program;
+  passes::PipelineReport report;
+  std::unique_ptr<Engine> engine;
+
+  ExecutionResult run() { return engine->run(); }
+};
+
+// Convenience: a runtime configuration consistent with a cost model.
+rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
+                                 const CostModel& cost, bool real_data);
+
+PreparedRun prepare_implicit(rt::Runtime& rt, ir::Program source,
+                             const CostModel& cost,
+                             passes::PipelineOptions options = {});
+
+}  // namespace cr::exec

@@ -1,0 +1,16 @@
+// The SPMD executor ("Regent with CR"): runs the full control replication
+// pipeline on the source program and interprets the resulting shard-based
+// program — one long-running control thread per node, point-to-point
+// synchronization, dynamic collectives.
+#pragma once
+
+#include "exec/implicit_exec.h"
+
+namespace cr::exec {
+
+// `options.num_shards` defaults to one shard per node when zero.
+PreparedRun prepare_spmd(rt::Runtime& rt, ir::Program source,
+                         const CostModel& cost,
+                         passes::PipelineOptions options = {});
+
+}  // namespace cr::exec

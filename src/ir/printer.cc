@@ -1,0 +1,156 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace cr::ir {
+
+namespace {
+
+std::string fields_str(const std::vector<rt::FieldId>& fields) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << ",";
+    os << "f" << fields[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+const char* redop_str(rt::ReduceOp op) {
+  switch (op) {
+    case rt::ReduceOp::kSum:
+      return "+";
+    case rt::ReduceOp::kMin:
+      return "min";
+    case rt::ReduceOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string part_name(const Program& p, rt::PartitionId id) {
+  return id == rt::kNoId ? "<none>" : p.forest->partition(id).name;
+}
+
+void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
+                int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (s.kind) {
+    case StmtKind::kForTime:
+      os << "for " << (s.label.empty() ? "t" : s.label) << " in 0.."
+         << s.trip_count << ":\n";
+      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1);
+      return;
+    case StmtKind::kIndexLaunch: {
+      os << "launch " << p.task(s.task).name << " over " << s.launch_colors
+         << ":";
+      for (const RegionArg& a : s.args) {
+        os << " " << part_name(p, a.partition) << "["
+           << (a.proj.identity() ? "i" : a.proj.name) << "] "
+           << rt::privilege_name(a.privilege);
+        if (a.privilege == rt::Privilege::kReduce) {
+          os << "(" << redop_str(a.redop) << ")";
+        }
+        os << fields_str(a.fields);
+      }
+      if (s.scalar_red) {
+        os << " -> " << p.scalar(s.scalar_red->target).name << " "
+           << redop_str(s.scalar_red->op);
+      }
+      os << "\n";
+      return;
+    }
+    case StmtKind::kSingleTask: {
+      os << "call " << p.task(s.task).name << "(";
+      for (size_t i = 0; i < s.regions.size(); ++i) {
+        if (i) os << ", ";
+        os << p.forest->region(s.regions[i]).name;
+      }
+      os << ")\n";
+      return;
+    }
+    case StmtKind::kScalarOp: {
+      os << "scalar " << s.label << ": write";
+      for (ScalarId w : s.scalar_writes) os << " " << p.scalar(w).name;
+      os << " from";
+      for (ScalarId r : s.scalar_reads) os << " " << p.scalar(r).name;
+      os << "\n";
+      return;
+    }
+    case StmtKind::kCopy: {
+      os << (s.copy_reduction ? "reduce_copy" : "copy") << " ";
+      if (s.src_root != rt::kNoId) {
+        os << p.forest->region(s.src_root).name;
+      } else {
+        os << part_name(p, s.copy_src);
+      }
+      os << " -> ";
+      if (s.dst_root != rt::kNoId) {
+        os << p.forest->region(s.dst_root).name;
+      } else {
+        os << part_name(p, s.copy_dst);
+      }
+      os << " " << fields_str(s.copy_fields);
+      if (s.copy_reduction) os << " op=" << redop_str(s.copy_redop);
+      if (s.isect != kNoIntersect) os << " isect#" << s.isect;
+      if (s.sync == SyncMode::kP2P) os << " sync=p2p";
+      os << "\n";
+      return;
+    }
+    case StmtKind::kFill:
+      os << "fill " << part_name(p, s.fill_dst) << " "
+         << fields_str(s.fill_fields) << " = " << s.fill_value << "\n";
+      return;
+    case StmtKind::kBarrier:
+      os << "barrier\n";
+      return;
+    case StmtKind::kIntersect:
+      os << "intersect#" << s.isect_id << " = " << part_name(p, s.isect_src)
+         << " x " << part_name(p, s.isect_dst) << "\n";
+      return;
+    case StmtKind::kCollective:
+      os << "collective " << p.scalar(s.coll_scalar).name << " "
+         << redop_str(s.coll_op) << "\n";
+      return;
+    case StmtKind::kShardBody:
+      os << "shards " << s.num_shards << ":\n";
+      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1);
+      return;
+  }
+  CR_UNREACHABLE("bad statement kind");
+}
+
+}  // namespace
+
+std::string to_string(const Stmt& stmt, const Program& program, int indent) {
+  std::ostringstream os;
+  print_stmt(os, stmt, program, indent);
+  return os.str();
+}
+
+std::string to_string(const Program& program, bool with_decls) {
+  std::ostringstream os;
+  os << "program " << program.name << "\n";
+  if (with_decls) {
+    for (const TaskDecl& t : program.tasks) {
+      os << "task " << t.name << "(";
+      for (size_t i = 0; i < t.params.size(); ++i) {
+        if (i) os << ", ";
+        os << rt::privilege_name(t.params[i].privilege)
+           << fields_str(t.params[i].fields);
+      }
+      os << ")\n";
+    }
+    for (const ScalarDecl& s : program.scalars) {
+      os << "var " << s.name << " = " << s.init << "\n";
+    }
+  }
+  for (const Stmt& s : program.body) print_stmt(os, s, program, 0);
+  return os.str();
+}
+
+}  // namespace cr::ir

@@ -1,0 +1,18 @@
+// Deterministic pretty-printer for programs. The golden tests for the
+// compiler passes compare printed IR against the structures of the
+// paper's Figure 4 stages.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace cr::ir {
+
+// Print the statement body (declarations omitted unless `with_decls`).
+std::string to_string(const Program& program, bool with_decls = false);
+
+std::string to_string(const Stmt& stmt, const Program& program,
+                      int indent = 0);
+
+}  // namespace cr::ir

@@ -1,0 +1,33 @@
+#include "ir/program.h"
+
+#include "support/check.h"
+
+namespace cr::ir {
+
+const TaskDecl& Program::task(TaskId id) const {
+  CR_CHECK(id < tasks.size());
+  return tasks[id];
+}
+
+const ScalarDecl& Program::scalar(ScalarId id) const {
+  CR_CHECK(id < scalars.size());
+  return scalars[id];
+}
+
+void for_each_stmt(const std::vector<Stmt>& body,
+                   const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& s : body) {
+    fn(s);
+    for_each_stmt(s.body, fn);
+  }
+}
+
+void for_each_stmt(std::vector<Stmt>& body,
+                   const std::function<void(Stmt&)>& fn) {
+  for (Stmt& s : body) {
+    fn(s);
+    for_each_stmt(s.body, fn);
+  }
+}
+
+}  // namespace cr::ir

@@ -1,0 +1,193 @@
+#include "ir/verify.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace cr::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Program& p) : p_(p) {}
+
+  std::vector<VerifyError> run() {
+    check_body(p_.body, /*in_shard=*/false);
+    return std::move(errors_);
+  }
+
+ private:
+  void error(const std::string& msg) { errors_.push_back({msg}); }
+
+  bool valid_partition(rt::PartitionId id) {
+    return id != rt::kNoId && id < p_.forest->num_partitions();
+  }
+  bool valid_region(rt::RegionId id) {
+    return id != rt::kNoId && id < p_.forest->num_regions();
+  }
+  bool valid_scalar(ScalarId id) { return id < p_.scalars.size(); }
+
+  void check_fields(const rt::FieldSpace& fs,
+                    const std::vector<rt::FieldId>& fields,
+                    const std::string& where) {
+    if (fields.empty()) error(where + ": empty field set");
+    for (rt::FieldId f : fields) {
+      if (f >= fs.num_fields()) error(where + ": bad field id");
+    }
+  }
+
+  void check_launch(const Stmt& s) {
+    if (s.task >= p_.tasks.size()) {
+      error("launch: bad task id");
+      return;
+    }
+    const TaskDecl& decl = p_.tasks[s.task];
+    if (s.args.size() != decl.params.size()) {
+      error("launch " + decl.name + ": arity mismatch");
+      return;
+    }
+    if (s.launch_colors == 0) error("launch " + decl.name + ": zero colors");
+    for (size_t k = 0; k < s.args.size(); ++k) {
+      const RegionArg& a = s.args[k];
+      const TaskParam& param = decl.params[k];
+      std::ostringstream where;
+      where << "launch " << decl.name << " arg " << k;
+      if (!valid_partition(a.partition)) {
+        error(where.str() + ": bad partition");
+        continue;
+      }
+      const rt::PartitionNode& pn = p_.forest->partition(a.partition);
+      if (pn.subregions.size() < s.launch_colors && a.proj.identity()) {
+        error(where.str() + ": partition has fewer colors than launch");
+      }
+      // Privilege strictness (paper §2.1): the argument must carry the
+      // declared privilege and fields exactly.
+      if (a.privilege != param.privilege || a.redop != param.redop ||
+          a.fields != param.fields) {
+        error(where.str() + ": privileges differ from task declaration");
+      }
+      check_fields(*p_.forest->region(pn.parent).fields, a.fields,
+                   where.str());
+      // Writers must target disjoint partitions unless reducing; writing
+      // an aliased partition is a race under parallel execution of the
+      // loop (paper §2.2: loop-carried deps only via reductions).
+      if (rt::privilege_writes(a.privilege) && !pn.disjoint &&
+          a.proj.identity()) {
+        error(where.str() + ": write to aliased partition " + pn.name);
+      }
+    }
+    if (s.scalar_red && !valid_scalar(s.scalar_red->target)) {
+      error("launch " + decl.name + ": bad scalar reduction target");
+    }
+    for (ScalarId id : s.scalar_args) {
+      if (!valid_scalar(id)) error("launch " + decl.name + ": bad scalar arg");
+    }
+  }
+
+  void check_copy(const Stmt& s) {
+    const bool src_part = s.copy_src != rt::kNoId;
+    const bool src_root = s.src_root != rt::kNoId;
+    const bool dst_part = s.copy_dst != rt::kNoId;
+    const bool dst_root = s.dst_root != rt::kNoId;
+    if (src_part == src_root) error("copy: need exactly one source form");
+    if (dst_part == dst_root) error("copy: need exactly one dest form");
+    if (src_part && !valid_partition(s.copy_src)) error("copy: bad src");
+    if (dst_part && !valid_partition(s.copy_dst)) error("copy: bad dst");
+    if (src_root && !valid_region(s.src_root)) error("copy: bad src root");
+    if (dst_root && !valid_region(s.dst_root)) error("copy: bad dst root");
+    if (s.isect != kNoIntersect) {
+      if (s.isect >= p_.num_intersects) error("copy: bad intersection id");
+      if (!src_part || !dst_part) {
+        error("copy: intersections require partition endpoints");
+      }
+    }
+    if (s.copy_fields.empty()) error("copy: no fields");
+  }
+
+  void check_body(const std::vector<Stmt>& body, bool in_shard) {
+    for (const Stmt& s : body) {
+      switch (s.kind) {
+        case StmtKind::kForTime:
+          if (s.trip_count == 0) error("for_time: zero trip count");
+          check_body(s.body, in_shard);
+          break;
+        case StmtKind::kIndexLaunch:
+          check_launch(s);
+          break;
+        case StmtKind::kSingleTask: {
+          if (in_shard) error("single task inside shard body");
+          if (s.task >= p_.tasks.size()) {
+            error("call: bad task id");
+            break;
+          }
+          const TaskDecl& decl = p_.tasks[s.task];
+          if (s.regions.size() != decl.params.size()) {
+            error("call " + decl.name + ": arity mismatch");
+            break;
+          }
+          for (rt::RegionId r : s.regions) {
+            if (!valid_region(r)) error("call " + decl.name + ": bad region");
+          }
+          break;
+        }
+        case StmtKind::kScalarOp:
+          for (ScalarId id : s.scalar_reads) {
+            if (!valid_scalar(id)) error("scalar op: bad read");
+          }
+          for (ScalarId id : s.scalar_writes) {
+            if (!valid_scalar(id)) error("scalar op: bad write");
+          }
+          if (!s.scalar_fn) error("scalar op: missing function");
+          break;
+        case StmtKind::kCopy:
+          check_copy(s);
+          break;
+        case StmtKind::kFill:
+          if (!valid_partition(s.fill_dst)) error("fill: bad partition");
+          if (s.fill_fields.empty()) error("fill: no fields");
+          break;
+        case StmtKind::kBarrier:
+          if (!in_shard) error("barrier outside shard body");
+          break;
+        case StmtKind::kIntersect:
+          if (s.isect_id >= p_.num_intersects) {
+            error("intersect: unallocated id");
+          }
+          if (!valid_partition(s.isect_src) ||
+              !valid_partition(s.isect_dst)) {
+            error("intersect: bad partitions");
+          }
+          break;
+        case StmtKind::kCollective:
+          if (!valid_scalar(s.coll_scalar)) error("collective: bad scalar");
+          if (!in_shard) error("collective outside shard body");
+          break;
+        case StmtKind::kShardBody:
+          if (in_shard) error("nested shard body");
+          if (s.num_shards == 0) error("shard body: zero shards");
+          check_body(s.body, /*in_shard=*/true);
+          break;
+      }
+    }
+  }
+
+  const Program& p_;
+  std::vector<VerifyError> errors_;
+};
+
+}  // namespace
+
+std::vector<VerifyError> verify(const Program& program) {
+  CR_CHECK(program.forest != nullptr);
+  return Verifier(program).run();
+}
+
+void verify_or_die(const Program& program) {
+  auto errors = verify(program);
+  if (!errors.empty()) {
+    CR_CHECK_MSG(false, errors.front().message.c_str());
+  }
+}
+
+}  // namespace cr::ir

@@ -1,0 +1,29 @@
+// IR well-formedness checking, run after construction and between
+// compiler passes. Beyond structural validity, it enforces the language
+// rules the transformation relies on:
+//  - privilege strictness: launch arguments carry exactly the fields and
+//    privileges of the task declaration (paper §2.1);
+//  - scalar discipline: scalars are written only by scalar ops, scalar
+//    collectives, or launch-attached reductions (paper §4.4);
+//  - compiler statements reference valid partitions/fields/intersections;
+//  - shard bodies contain only shardable statements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace cr::ir {
+
+struct VerifyError {
+  std::string message;
+};
+
+// Returns all violations (empty means valid).
+std::vector<VerifyError> verify(const Program& program);
+
+// CR_CHECK-fails with the first violation, if any.
+void verify_or_die(const Program& program);
+
+}  // namespace cr::ir

@@ -1,0 +1,84 @@
+#include "passes/common.h"
+
+#include "support/check.h"
+
+namespace cr::passes {
+
+namespace {
+
+void add_fields(PartitionFields& m, rt::PartitionId p,
+                const std::vector<rt::FieldId>& fields) {
+  auto& set = m[p];
+  set.insert(fields.begin(), fields.end());
+}
+
+void summarize_into(const ir::Stmt& s, AccessSummary& out) {
+  switch (s.kind) {
+    case ir::StmtKind::kIndexLaunch:
+      for (const ir::RegionArg& a : s.args) {
+        if (a.privilege == rt::Privilege::kReduce) {
+          add_fields(out.reduces, a.partition, a.fields);
+          continue;
+        }
+        if (rt::privilege_reads(a.privilege)) {
+          add_fields(out.reads, a.partition, a.fields);
+        }
+        if (rt::privilege_writes(a.privilege)) {
+          add_fields(out.writes, a.partition, a.fields);
+        }
+      }
+      break;
+    case ir::StmtKind::kCopy:
+      if (s.copy_src != rt::kNoId) {
+        add_fields(out.reads, s.copy_src, s.copy_fields);
+      }
+      if (s.copy_dst != rt::kNoId) {
+        // A reduction copy folds into the destination: read-modify-write.
+        if (s.copy_reduction) {
+          add_fields(out.reads, s.copy_dst, s.copy_fields);
+        }
+        add_fields(out.writes, s.copy_dst, s.copy_fields);
+      }
+      break;
+    case ir::StmtKind::kFill:
+      add_fields(out.writes, s.fill_dst, s.fill_fields);
+      break;
+    default:
+      break;
+  }
+  for (const ir::Stmt& c : s.body) summarize_into(c, out);
+}
+
+}  // namespace
+
+AccessSummary summarize(const ir::Stmt& stmt) {
+  AccessSummary out;
+  summarize_into(stmt, out);
+  return out;
+}
+
+AccessSummary summarize(const std::vector<ir::Stmt>& body) {
+  AccessSummary out;
+  for (const ir::Stmt& s : body) summarize_into(s, out);
+  return out;
+}
+
+void merge_into(PartitionFields& a, const PartitionFields& b) {
+  for (const auto& [p, fields] : b) {
+    a[p].insert(fields.begin(), fields.end());
+  }
+}
+
+FieldSet intersect_fields(const FieldSet& a, const FieldSet& b) {
+  FieldSet out;
+  for (rt::FieldId f : a) {
+    if (b.count(f)) out.insert(f);
+  }
+  return out;
+}
+
+rt::RegionId root_of(const rt::RegionForest& forest, rt::PartitionId p) {
+  return forest.region(forest.partition(p).parent).root;
+}
+
+}  // namespace cr::passes

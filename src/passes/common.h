@@ -1,0 +1,54 @@
+// Shared infrastructure for the control replication passes: the fragment
+// being transformed and partition-granularity access summaries.
+//
+// The key formulation point from the paper (§3.2): after data
+// replication, statements are viewed as operations on *partitions* —
+// "line 8 is seen as writing the partition PB and reading PA" — which is
+// what lets textbook dataflow optimizations apply. AccessSummary is that
+// view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace cr::passes {
+
+// A contiguous statement range [begin, end) of Program::body selected for
+// control replication.
+struct Fragment {
+  size_t begin = 0;
+  size_t end = 0;
+  bool empty() const { return begin >= end; }
+};
+
+using FieldSet = std::set<rt::FieldId>;
+using PartitionFields = std::map<rt::PartitionId, FieldSet>;
+
+// Partition-level reads/writes of a statement (recursively summarizing
+// nested loops). Reduce-privileged arguments are tracked separately:
+// they neither read nor overwrite, and data replication must not treat
+// them as either (paper §4.3 handles them with reduction instances).
+struct AccessSummary {
+  PartitionFields reads;
+  PartitionFields writes;
+  PartitionFields reduces;
+};
+
+// Summarize one statement / a whole body.
+AccessSummary summarize(const ir::Stmt& stmt);
+AccessSummary summarize(const std::vector<ir::Stmt>& body);
+
+// Merge b into a.
+void merge_into(PartitionFields& a, const PartitionFields& b);
+
+// fields(a) ∩ b
+FieldSet intersect_fields(const FieldSet& a, const FieldSet& b);
+
+// Look up the tree-root region of a partition.
+rt::RegionId root_of(const rt::RegionForest& forest, rt::PartitionId p);
+
+}  // namespace cr::passes

@@ -1,0 +1,32 @@
+// Copy placement optimization (paper §3.2): variants of partial
+// redundancy elimination and loop-invariant code motion applied at
+// partition granularity.
+//
+// Data replication is deliberately naive: it re-synchronizes every
+// aliased reader after every write. Two standard cleanups recover the
+// optimal placement:
+//   - dead/redundant copy elimination: a copy into Q is dead (per field)
+//     if Q's field is overwritten again before any read, considering the
+//     enclosing loop's back edge;
+//   - loop-invariant code motion: a copy whose source fields are never
+//     written inside the enclosing loop (and whose destination is not
+//     otherwise touched in it) moves to the loop preheader.
+//
+// Both work only because statements operate on whole partitions — the
+// problem formulation the paper credits for making textbook compiler
+// techniques applicable.
+#pragma once
+
+#include "ir/program.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+struct CopyPlacementResult {
+  size_t removed = 0;  // dead copies (or dead fields) eliminated
+  size_t hoisted = 0;  // copies moved out of loops
+};
+
+CopyPlacementResult copy_placement(ir::Program& program, Fragment& fragment);
+
+}  // namespace cr::passes

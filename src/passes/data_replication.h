@@ -1,0 +1,36 @@
+// Data replication (paper §3.1, Figure 4a): give every partition its own
+// storage and insert the copies that keep replicas coherent.
+//
+//  - Initialization: before the fragment, every partition accessed with
+//    read or write privileges is loaded from its parent region.
+//  - Inner copies: after each statement writing a partition P, copy the
+//    written fields into every partition Q that may alias P (per the
+//    static region tree) and is read within the fragment.
+//  - Finalization: after the fragment, every partition written by a task
+//    is copied back to its parent region.
+//
+// Reduce-privileged arguments are left untouched here; the region
+// reduction pass (§4.3) rewrites them.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "ir/static_region_tree.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+struct DataReplicationResult {
+  std::vector<ir::Stmt> init;      // copies to place before the fragment
+  std::vector<ir::Stmt> finalize;  // copies to place after the fragment
+  size_t inner_copies = 0;         // copies inserted inside the fragment
+};
+
+// `fragment` is updated in place when top-level copy insertion grows the
+// range.
+DataReplicationResult data_replication(ir::Program& program,
+                                       Fragment& fragment,
+                                       const ir::StaticRegionTree& tree);
+
+}  // namespace cr::passes

@@ -1,0 +1,39 @@
+#include "passes/hierarchical.h"
+
+#include <set>
+
+namespace cr::passes {
+
+ir::StaticRegionTree make_alias_oracle(const ir::Program& program,
+                                       bool hierarchical) {
+  return ir::StaticRegionTree(*program.forest, hierarchical);
+}
+
+HierarchyStats analyze_hierarchy(const ir::Program& program,
+                                 const Fragment& fragment) {
+  // Collect every partition used in the fragment.
+  std::set<rt::PartitionId> used;
+  for (size_t i = fragment.begin; i < fragment.end; ++i) {
+    AccessSummary sum = summarize(program.body[i]);
+    for (const auto& [p, _] : sum.reads) used.insert(p);
+    for (const auto& [p, _] : sum.writes) used.insert(p);
+    for (const auto& [p, _] : sum.reduces) used.insert(p);
+  }
+  ir::StaticRegionTree deep(*program.forest, /*hierarchical=*/true);
+  ir::StaticRegionTree flat(*program.forest, /*hierarchical=*/false);
+  HierarchyStats stats;
+  for (rt::PartitionId p : used) {
+    for (rt::PartitionId q : used) {
+      if (q <= p) continue;
+      if (root_of(*program.forest, p) != root_of(*program.forest, q)) {
+        continue;
+      }
+      ++stats.pairs_considered;
+      if (!deep.partitions_may_alias(p, q)) ++stats.pairs_proven_disjoint;
+      if (!flat.partitions_may_alias(p, q)) ++stats.pairs_flat_disjoint;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cr::passes

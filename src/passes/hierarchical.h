@@ -1,0 +1,34 @@
+// Hierarchical region tree support (paper §4.5, Figure 5).
+//
+// When the programmer partitions a region into private/ghost subsets
+// before partitioning further, the deep LCA test proves the private-side
+// partitions disjoint from every ghost-side partition: the compiler then
+// never emits copies for them and skips their intersection tests. The
+// precision switch itself lives in ir::StaticRegionTree (hierarchical vs
+// flat); this module builds the oracle for a pipeline configuration and
+// reports how much the hierarchy saved — the quantity the §4.5 ablation
+// measures.
+#pragma once
+
+#include "ir/program.h"
+#include "ir/static_region_tree.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+struct HierarchyStats {
+  size_t pairs_considered = 0;   // partition pairs sharing a tree root
+  size_t pairs_proven_disjoint = 0;  // by the hierarchical test
+  size_t pairs_flat_disjoint = 0;    // provable even without hierarchy
+};
+
+// Oracle used by data replication / region reduction.
+ir::StaticRegionTree make_alias_oracle(const ir::Program& program,
+                                       bool hierarchical);
+
+// Count, over all partition pairs used in the fragment, how many the
+// hierarchical test separates versus the flat test.
+HierarchyStats analyze_hierarchy(const ir::Program& program,
+                                 const Fragment& fragment);
+
+}  // namespace cr::passes

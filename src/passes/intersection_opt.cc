@@ -1,0 +1,55 @@
+#include "passes/intersection_opt.h"
+
+#include <map>
+
+namespace cr::passes {
+
+namespace {
+
+class IntersectionTagger {
+ public:
+  explicit IntersectionTagger(ir::Program& program) : program_(program) {}
+
+  IntersectionOptResult run(const Fragment& fragment) {
+    for (size_t i = fragment.begin; i < fragment.end; ++i) {
+      tag(program_.body[i]);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void tag(ir::Stmt& s) {
+    for (ir::Stmt& c : s.body) tag(c);
+    if (s.kind != ir::StmtKind::kCopy) return;
+    if (s.copy_src == rt::kNoId || s.copy_dst == rt::kNoId) return;
+    const auto key = std::make_pair(s.copy_src, s.copy_dst);
+    auto [it, inserted] = tables_.try_emplace(
+        key, static_cast<ir::IntersectId>(program_.num_intersects));
+    if (inserted) {
+      ++program_.num_intersects;
+      ir::Stmt t;
+      t.kind = ir::StmtKind::kIntersect;
+      t.isect_id = it->second;
+      t.isect_src = s.copy_src;
+      t.isect_dst = s.copy_dst;
+      result_.tables.push_back(std::move(t));
+    }
+    s.isect = it->second;
+    ++result_.copies_tagged;
+  }
+
+  ir::Program& program_;
+  std::map<std::pair<rt::PartitionId, rt::PartitionId>, ir::IntersectId>
+      tables_;
+  IntersectionOptResult result_;
+};
+
+}  // namespace
+
+IntersectionOptResult intersection_opt(ir::Program& program,
+                                       const Fragment& fragment) {
+  IntersectionTagger tagger(program);
+  return tagger.run(fragment);
+}
+
+}  // namespace cr::passes

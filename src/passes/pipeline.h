@@ -1,0 +1,62 @@
+// The control replication pipeline: applies the passes of paper §3 in
+// order and produces the SPMD program of Figure 4d.
+//
+//   applicability -> projection normalization -> data replication ->
+//   region reductions -> copy placement (PRE + LICM) -> intersection
+//   optimization -> scalar reductions -> synchronization insertion ->
+//   shard creation.
+//
+// Every optimization can be disabled independently for the ablation
+// studies; disabling correctness-relevant stages falls back to the
+// naive-but-correct form (all-pairs copies, barrier synchronization),
+// never to an incorrect program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace cr::passes {
+
+struct PipelineOptions {
+  // 0 = auto (one shard per node, set by the SPMD executor).
+  uint32_t num_shards = 0;
+  bool copy_placement = true;    // §3.2 (ablation A4)
+  bool intersection_opt = true;  // §3.3 (ablation A1)
+  bool p2p_sync = true;          // §3.4 (ablation A2; false = barriers)
+  bool hierarchical = true;      // §4.5 (ablation A3; false = flat aliasing)
+};
+
+struct PipelineReport {
+  bool applied = false;
+  std::string failure;             // why CR was not applied
+  size_t fragment_statements = 0;  // statements selected
+  size_t projections_normalized = 0;
+  size_t init_copies = 0;
+  size_t inner_copies = 0;
+  size_t finalize_copies = 0;
+  size_t reductions_rewritten = 0;
+  size_t copies_removed = 0;
+  size_t copies_hoisted = 0;
+  size_t intersection_tables = 0;
+  size_t collectives = 0;
+  size_t p2p_copies = 0;
+  size_t barriers = 0;
+};
+
+// Transform `program` in place. Returns the report; when the program is
+// not replicable it is left untouched and report.applied is false.
+PipelineReport control_replicate(ir::Program& program,
+                                 const PipelineOptions& options);
+
+// The distributed-memory preparation *without* control replication:
+// projection normalization, data replication, reductions, placement and
+// intersections, but no synchronization insertion and no shards. This is
+// what the implicit executor interprets — it corresponds to the work the
+// Legion runtime performs from a single control thread when CR is off
+// (every copy and every point task issued centrally).
+PipelineReport prepare_distributed(ir::Program& program,
+                                   const PipelineOptions& options);
+
+}  // namespace cr::passes

@@ -1,0 +1,37 @@
+#include "passes/projection_normalize.h"
+
+#include "rt/partition.h"
+
+namespace cr::passes {
+
+namespace {
+
+size_t normalize_stmt(ir::Program& program, ir::Stmt& s) {
+  size_t rewritten = 0;
+  if (s.kind == ir::StmtKind::kIndexLaunch) {
+    for (ir::RegionArg& a : s.args) {
+      if (a.proj.identity()) continue;
+      const std::string base = program.forest->partition(a.partition).name;
+      rt::PartitionId q = rt::partition_compose(
+          *program.forest, a.partition, s.launch_colors, a.proj.fn,
+          base + "@" + (a.proj.name.empty() ? "f" : a.proj.name));
+      a.partition = q;
+      a.proj = ir::Projection{};  // identity
+      ++rewritten;
+    }
+  }
+  for (ir::Stmt& c : s.body) rewritten += normalize_stmt(program, c);
+  return rewritten;
+}
+
+}  // namespace
+
+size_t projection_normalize(ir::Program& program, const Fragment& fragment) {
+  size_t rewritten = 0;
+  for (size_t i = fragment.begin; i < fragment.end; ++i) {
+    rewritten += normalize_stmt(program, program.body[i]);
+  }
+  return rewritten;
+}
+
+}  // namespace cr::passes

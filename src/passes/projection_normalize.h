@@ -1,0 +1,17 @@
+// Projection normalization (paper §2.2): region arguments of the form
+// p[f(i)] with a non-trivial f are rewritten to q[i] where q is a fresh
+// compiler-generated partition with q[i] = p[f(i)]. This puts every
+// launch argument in the canonical identity-projection form the later
+// passes assume, using Regent's defining ability to create multiple
+// partitions of the same data.
+#pragma once
+
+#include "ir/program.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+// Returns the number of arguments rewritten.
+size_t projection_normalize(ir::Program& program, const Fragment& fragment);
+
+}  // namespace cr::passes

@@ -1,0 +1,136 @@
+#include "passes/region_reduction.h"
+
+#include "rt/partition.h"
+#include "support/check.h"
+
+namespace cr::passes {
+
+namespace {
+
+class ReductionRewriter {
+ public:
+  ReductionRewriter(ir::Program& program, const ir::StaticRegionTree& tree)
+      : program_(program), forest_(*program.forest), tree_(tree) {}
+
+  size_t run(Fragment& fragment) {
+    for (size_t i = fragment.begin; i < fragment.end; ++i) {
+      AccessSummary sum = summarize(program_.body[i]);
+      merge_into(reads_, sum.reads);
+    }
+    size_t rewritten = 0;
+    for (size_t i = fragment.begin; i < fragment.end; ++i) {
+      if (program_.body[i].kind == ir::StmtKind::kIndexLaunch) {
+        // Top-level launch: rewrite within program.body, growing the
+        // fragment by the inserted statements.
+        std::vector<ir::Stmt> pre, post;
+        rewritten += rewrite_launch(program_.body[i], pre, post);
+        const size_t grow = pre.size() + post.size();
+        program_.body.insert(program_.body.begin() + static_cast<long>(i) + 1,
+                             std::make_move_iterator(post.begin()),
+                             std::make_move_iterator(post.end()));
+        program_.body.insert(program_.body.begin() + static_cast<long>(i),
+                             std::make_move_iterator(pre.begin()),
+                             std::make_move_iterator(pre.end()));
+        i += grow;
+        fragment.end += grow;
+      } else if (!program_.body[i].body.empty()) {
+        rewritten += rewrite_body(program_.body[i].body);
+      }
+    }
+    return rewritten;
+  }
+
+ private:
+  size_t rewrite_body(std::vector<ir::Stmt>& body) {
+    size_t rewritten = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!body[i].body.empty()) rewritten += rewrite_body(body[i].body);
+      if (body[i].kind != ir::StmtKind::kIndexLaunch) continue;
+      std::vector<ir::Stmt> pre, post;
+      rewritten += rewrite_launch(body[i], pre, post);
+      body.insert(body.begin() + static_cast<long>(i) + 1,
+                  std::make_move_iterator(post.begin()),
+                  std::make_move_iterator(post.end()));
+      body.insert(body.begin() + static_cast<long>(i),
+                  std::make_move_iterator(pre.begin()),
+                  std::make_move_iterator(pre.end()));
+      i += pre.size() + post.size();
+    }
+    return rewritten;
+  }
+
+  size_t rewrite_launch(ir::Stmt& launch, std::vector<ir::Stmt>& pre,
+                        std::vector<ir::Stmt>& post) {
+    size_t rewritten = 0;
+    for (ir::RegionArg& a : launch.args) {
+      if (a.privilege != rt::Privilege::kReduce) continue;
+      CR_CHECK_MSG(a.proj.identity(),
+                   "projection normalization must run before reductions");
+      const rt::PartitionId q = a.partition;
+      const rt::RegionId root = root_of(forest_, q);
+
+      // The reduction instance partition: same subspaces, private storage.
+      rt::PartitionId tmp = rt::partition_compose(
+          forest_, q, launch.launch_colors, [](uint64_t i) { return i; },
+          forest_.partition(q).name + "$red");
+
+      ir::Stmt fill;
+      fill.kind = ir::StmtKind::kFill;
+      fill.fill_dst = tmp;
+      fill.fill_fields = a.fields;
+      fill.fill_value = rt::reduce_identity(a.redop);
+      pre.push_back(std::move(fill));
+
+      // Apply the partial results to every partition reading the fields.
+      const FieldSet reduced(a.fields.begin(), a.fields.end());
+      bool applied = false;
+      for (const auto& [d, read_fields] : reads_) {
+        if (d == tmp) continue;
+        if (root_of(forest_, d) != root) continue;
+        FieldSet shared = intersect_fields(reduced, read_fields);
+        if (shared.empty()) continue;
+        if (!tree_.partitions_may_alias(tmp, d)) continue;
+        ir::Stmt copy;
+        copy.kind = ir::StmtKind::kCopy;
+        copy.copy_src = tmp;
+        copy.copy_dst = d;
+        copy.copy_fields.assign(shared.begin(), shared.end());
+        copy.copy_reduction = true;
+        copy.copy_redop = a.redop;
+        post.push_back(std::move(copy));
+        applied = true;
+      }
+      if (!applied) {
+        // Nothing in the fragment consumes the reduction: fold straight
+        // into the parent region so finalization still sees the values.
+        ir::Stmt copy;
+        copy.kind = ir::StmtKind::kCopy;
+        copy.copy_src = tmp;
+        copy.dst_root = root;
+        copy.copy_fields = a.fields;
+        copy.copy_reduction = true;
+        copy.copy_redop = a.redop;
+        post.push_back(std::move(copy));
+      }
+
+      a.partition = tmp;
+      ++rewritten;
+    }
+    return rewritten;
+  }
+
+  ir::Program& program_;
+  rt::RegionForest& forest_;
+  const ir::StaticRegionTree& tree_;
+  PartitionFields reads_;
+};
+
+}  // namespace
+
+size_t region_reduction(ir::Program& program, Fragment& fragment,
+                        const ir::StaticRegionTree& tree) {
+  ReductionRewriter rw(program, tree);
+  return rw.run(fragment);
+}
+
+}  // namespace cr::passes

@@ -1,0 +1,26 @@
+// Region reductions (paper §4.3): loop-carried dependencies from
+// associative/commutative reductions to region arguments.
+//
+// A Reduce-privileged argument on a (generally aliased) partition Q is
+// rewritten to target a fresh compiler-generated *reduction instance*
+// partition T with the same subspaces as Q but private storage:
+//   - a Fill initializes T to the operator's identity before the launch;
+//   - the launch folds its partial results into T;
+//   - reduction copies after the launch apply T into every partition
+//     that reads the reduced fields (each replica folds the same deltas,
+//     so replicas stay coherent), or into the parent region when nothing
+//     reads them inside the fragment.
+#pragma once
+
+#include "ir/program.h"
+#include "ir/static_region_tree.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+// Returns the number of launch arguments rewritten. `fragment` grows when
+// fills/copies are inserted at top level.
+size_t region_reduction(ir::Program& program, Fragment& fragment,
+                        const ir::StaticRegionTree& tree);
+
+}  // namespace cr::passes

@@ -1,0 +1,79 @@
+#include "passes/scalar_reduction.h"
+
+namespace cr::passes {
+
+namespace {
+
+class ScalarLowering {
+ public:
+  explicit ScalarLowering(ir::Program& program) : program_(program) {}
+  ScalarReductionResult result;
+
+  void process(std::vector<ir::Stmt>& body) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      ir::Stmt& s = body[i];
+      if (!s.body.empty()) process(s.body);
+      if (s.kind != ir::StmtKind::kIndexLaunch || !s.scalar_red) continue;
+      // Shards accumulate locally; the collective folds shard values in
+      // rank order and broadcasts the result into every shard's
+      // replicated scalar environment.
+      ir::Stmt coll;
+      coll.kind = ir::StmtKind::kCollective;
+      coll.coll_scalar = s.scalar_red->target;
+      coll.coll_op = s.scalar_red->op;
+      body.insert(body.begin() + static_cast<long>(i) + 1, std::move(coll));
+      ++i;
+      ++result.collectives;
+    }
+  }
+
+  void check_safety(const std::vector<ir::Stmt>& body) {
+    for (const ir::Stmt& s : body) {
+      check_safety(s.body);
+      if (s.kind == ir::StmtKind::kScalarOp) {
+        // A scalar op is replicated verbatim on every shard; it is safe
+        // exactly when it is a pure function of replicated scalars,
+        // which the statement form guarantees. Nothing to flag.
+        continue;
+      }
+      if (s.kind == ir::StmtKind::kIndexLaunch && s.scalar_red) {
+        // The reduction target must not also be a plain scalar argument
+        // of the same launch (the point tasks would observe a value that
+        // differs per shard mid-reduction).
+        for (ir::ScalarId a : s.scalar_args) {
+          if (a == s.scalar_red->target) {
+            result.violations.push_back(
+                "launch " + program_.task(s.task).name +
+                " reads its own scalar reduction target");
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  ir::Program& program_;
+};
+
+}  // namespace
+
+ScalarReductionResult scalar_reduction(ir::Program& program,
+                                       Fragment& fragment) {
+  ScalarLowering lowering(program);
+  std::vector<ir::Stmt> view(
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.begin)),
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.end)));
+  lowering.check_safety(view);
+  lowering.process(view);
+  program.body.erase(program.body.begin() + static_cast<long>(fragment.begin),
+                     program.body.begin() + static_cast<long>(fragment.end));
+  program.body.insert(program.body.begin() + static_cast<long>(fragment.begin),
+                      std::make_move_iterator(view.begin()),
+                      std::make_move_iterator(view.end()));
+  fragment.end = fragment.begin + view.size();
+  return lowering.result;
+}
+
+}  // namespace cr::passes

@@ -1,0 +1,29 @@
+// Scalar reductions (paper §4.4).
+//
+// Scalars are replicated across shards; assignments are restricted so
+// control flow behaves identically everywhere. Reductions to scalars
+// inside inner loops (e.g. computing the next dt) are supported by
+// accumulating into shard-local values and combining them with a dynamic
+// collective whose result is broadcast back to every shard. This pass
+// inserts the kCollective statement after each launch carrying a scalar
+// reduction, and checks the replication-safety of all other scalar
+// writes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+struct ScalarReductionResult {
+  size_t collectives = 0;
+  std::vector<std::string> violations;  // replication-safety problems
+};
+
+ScalarReductionResult scalar_reduction(ir::Program& program,
+                                       Fragment& fragment);
+
+}  // namespace cr::passes

@@ -1,0 +1,36 @@
+#include "passes/shard_creation.h"
+
+#include "support/check.h"
+
+namespace cr::passes {
+
+void shard_creation(ir::Program& program, Fragment& fragment,
+                    uint32_t num_shards) {
+  CR_CHECK(num_shards > 0);
+  ir::Stmt shard;
+  shard.kind = ir::StmtKind::kShardBody;
+  shard.num_shards = num_shards;
+  shard.label = "shard";
+  shard.body.assign(
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.begin)),
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.end)));
+  program.body.erase(program.body.begin() + static_cast<long>(fragment.begin),
+                     program.body.begin() + static_cast<long>(fragment.end));
+  program.body.insert(program.body.begin() + static_cast<long>(fragment.begin),
+                      std::move(shard));
+  fragment.end = fragment.begin + 1;
+}
+
+ColorRange shard_block(uint64_t colors, uint32_t num_shards, uint32_t s) {
+  CR_CHECK(s < num_shards);
+  // Even block split with the remainder on the leading shards — the same
+  // policy as Mapper::node_of_color, so shard-owned tasks are node-local.
+  const uint64_t base = colors / num_shards;
+  const uint64_t rem = colors % num_shards;
+  const uint64_t begin = s * base + std::min<uint64_t>(s, rem);
+  return ColorRange{begin, begin + base + (s < rem ? 1 : 0)};
+}
+
+}  // namespace cr::passes

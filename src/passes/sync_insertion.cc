@@ -1,0 +1,74 @@
+#include "passes/sync_insertion.h"
+
+namespace cr::passes {
+
+namespace {
+
+bool is_inter_shard_copy(const ir::Stmt& s) {
+  // Partition-to-partition copies can cross shard boundaries; copies
+  // with a root endpoint are issued by the main task outside the shards.
+  return s.kind == ir::StmtKind::kCopy && s.copy_src != rt::kNoId &&
+         s.copy_dst != rt::kNoId;
+}
+
+class SyncInserter {
+ public:
+  explicit SyncInserter(bool p2p) : p2p_(p2p) {}
+  SyncInsertionResult result;
+
+  void process(std::vector<ir::Stmt>& body) {
+    for (ir::Stmt& s : body) {
+      if (!s.body.empty()) process(s.body);
+    }
+    if (p2p_) {
+      for (ir::Stmt& s : body) {
+        if (is_inter_shard_copy(s)) {
+          s.sync = ir::SyncMode::kP2P;
+          ++result.p2p_copies;
+        }
+      }
+      return;
+    }
+    // Naive form: barrier() before and after each maximal run of copies
+    // (Figure 4c lines 10 and 12).
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!is_inter_shard_copy(body[i])) continue;
+      size_t j = i;
+      while (j < body.size() && is_inter_shard_copy(body[j])) ++j;
+      ir::Stmt barrier;
+      barrier.kind = ir::StmtKind::kBarrier;
+      body.insert(body.begin() + static_cast<long>(j), barrier);
+      body.insert(body.begin() + static_cast<long>(i), barrier);
+      result.barriers += 2;
+      i = j + 1;  // skip past the run and the inserted barriers
+    }
+  }
+
+ private:
+  bool p2p_;
+};
+
+}  // namespace
+
+SyncInsertionResult sync_insertion(ir::Program& program, Fragment& fragment,
+                                   bool p2p) {
+  SyncInserter inserter(p2p);
+  // Process the whole fragment range; nested bodies handled recursively.
+  // Top-level runs of copies in the fragment also get barriers, so wrap
+  // the range in a temporary view.
+  std::vector<ir::Stmt> view(
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.begin)),
+      std::make_move_iterator(program.body.begin() +
+                              static_cast<long>(fragment.end)));
+  inserter.process(view);
+  program.body.erase(program.body.begin() + static_cast<long>(fragment.begin),
+                     program.body.begin() + static_cast<long>(fragment.end));
+  program.body.insert(program.body.begin() + static_cast<long>(fragment.begin),
+                      std::make_move_iterator(view.begin()),
+                      std::make_move_iterator(view.end()));
+  fragment.end = fragment.begin + view.size();
+  return inserter.result;
+}
+
+}  // namespace cr::passes

@@ -1,0 +1,31 @@
+// Synchronization insertion (paper §3.4, Figure 4c).
+//
+// Copies between shards need explicit ordering: a barrier before each
+// copy group preserves write-after-read (the copy must not overwrite a
+// destination a consumer is still reading), and a barrier after preserves
+// read-after-write (consumers must not start before the copy lands).
+//
+// The optimized form replaces barriers with point-to-point pre/post-
+// conditions on exactly the tasks identified by the non-empty
+// intersections — events attached to tasks and copies that never block a
+// control thread. The executor derives the precise producer/consumer
+// pairs at runtime from the intersection tables; this pass only selects
+// the mechanism per copy.
+#pragma once
+
+#include "ir/program.h"
+#include "passes/common.h"
+
+namespace cr::passes {
+
+struct SyncInsertionResult {
+  size_t p2p_copies = 0;
+  size_t barriers = 0;
+};
+
+// `p2p` selects point-to-point synchronization; otherwise barrier pairs
+// are inserted around each run of copies (the naive Figure 4c form).
+SyncInsertionResult sync_insertion(ir::Program& program, Fragment& fragment,
+                                   bool p2p);
+
+}  // namespace cr::passes

@@ -1,0 +1,47 @@
+#include "rt/barrier.h"
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::rt {
+
+PhaseBarrier::PhaseBarrier(sim::Simulator& sim, sim::Network& net,
+                           uint32_t participants)
+    : sim_(&sim), net_(&net), participants_(participants) {
+  CR_CHECK(participants > 0);
+}
+
+PhaseBarrier::Generation& PhaseBarrier::gen(uint64_t g) {
+  auto [it, inserted] = generations_.try_emplace(g);
+  if (inserted) {
+    it->second.done = std::make_unique<sim::UserEvent>(*sim_);
+  }
+  return it->second;
+}
+
+void PhaseBarrier::maybe_wire(Generation& g) {
+  if (g.wired || g.arrivals.size() < participants_) return;
+  CR_CHECK_MSG(g.arrivals.size() == participants_,
+               "barrier generation over-subscribed");
+  g.wired = true;
+  sim::Event all = sim::Event::merge(*sim_, g.arrivals);
+  // Fan-in + fan-out over a binary tree of participants.
+  const sim::Time latency = 2 * net_->tree_latency(participants_);
+  sim::UserEvent* done = g.done.get();
+  all.subscribe([this, latency, done](sim::Time) {
+    sim_->schedule_after(latency, [done] { done->trigger(); });
+  });
+}
+
+void PhaseBarrier::arrive(uint64_t generation, sim::Event precondition) {
+  Generation& g = gen(generation);
+  CR_CHECK_MSG(!g.wired, "arrival after generation completed wiring");
+  g.arrivals.push_back(precondition);
+  maybe_wire(g);
+}
+
+sim::Event PhaseBarrier::wait(uint64_t generation) {
+  return gen(generation).done->event();
+}
+
+}  // namespace cr::rt

@@ -1,0 +1,62 @@
+#include "rt/collective.h"
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::rt {
+
+DynamicCollective::DynamicCollective(sim::Simulator& sim, sim::Network& net,
+                                     uint32_t participants, ReduceOp op)
+    : sim_(&sim), net_(&net), participants_(participants), op_(op) {
+  CR_CHECK(participants > 0);
+}
+
+DynamicCollective::Generation& DynamicCollective::gen(uint64_t g) {
+  auto [it, inserted] = generations_.try_emplace(g);
+  if (inserted) {
+    it->second.values.resize(participants_);
+    it->second.done = std::make_unique<sim::UserEvent>(*sim_);
+  }
+  return it->second;
+}
+
+void DynamicCollective::contribute(uint64_t generation, uint32_t rank,
+                                   sim::Event precondition,
+                                   std::function<double()> value) {
+  CR_CHECK(rank < participants_);
+  Generation& g = gen(generation);
+  CR_CHECK_MSG(!g.values[rank], "duplicate contribution");
+  g.values[rank] = std::move(value);
+  g.arrivals.push_back(precondition);
+  maybe_wire(g);
+}
+
+void DynamicCollective::maybe_wire(Generation& g) {
+  if (g.wired || g.arrivals.size() < participants_) return;
+  g.wired = true;
+  sim::Event all = sim::Event::merge(*sim_, g.arrivals);
+  const sim::Time latency = 2 * net_->tree_latency(participants_);
+  Generation* gp = &g;
+  ReduceOp op = op_;
+  all.subscribe([this, gp, op, latency](sim::Time) {
+    // Fold in rank order: deterministic regardless of arrival order.
+    double acc = reduce_identity(op);
+    for (const auto& fn : gp->values) acc = reduce_fold(op, acc, fn());
+    gp->result = acc;
+    sim_->schedule_after(latency, [gp] { gp->done->trigger(); });
+  });
+}
+
+sim::Event DynamicCollective::result_event(uint64_t generation) {
+  return gen(generation).done->event();
+}
+
+double DynamicCollective::result(uint64_t generation) const {
+  auto it = generations_.find(generation);
+  CR_CHECK(it != generations_.end());
+  CR_CHECK_MSG(it->second.done->has_triggered(),
+               "collective result read before completion");
+  return it->second.result;
+}
+
+}  // namespace cr::rt

@@ -1,0 +1,38 @@
+#include "rt/copy.h"
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+sim::Event CopyEngine::issue(const CopyRequest& req,
+                             sim::Event precondition) {
+  if (req.points.empty()) {
+    ++skipped_;
+    return precondition;
+  }
+  ++copies_;
+  const FieldSpace& fs = *forest_->region(req.src_region).fields;
+  const uint64_t bytes = req.points.size() * fs.virtual_bytes_of(req.fields);
+  bytes_ += bytes;
+
+  std::function<void()> on_delivery;
+  if (instances_ != nullptr) {
+    CR_CHECK(req.src_inst != kNoId && req.dst_inst != kNoId);
+    InstanceManager* insts = instances_;
+    // Capture by value: the request may be a temporary at the caller.
+    CopyRequest r = req;
+    on_delivery = [insts, r = std::move(r)] {
+      PhysicalInstance& dst = insts->get(r.dst_inst);
+      const PhysicalInstance& src = insts->get(r.src_inst);
+      if (r.reduction) {
+        dst.fold_from(src, r.points, r.fields, r.redop);
+      } else {
+        dst.copy_from(src, r.points, r.fields);
+      }
+    };
+  }
+  return net_->send(req.src_node, req.dst_node, bytes, precondition,
+                    std::move(on_delivery));
+}
+
+}  // namespace cr::rt

@@ -1,0 +1,62 @@
+#include "rt/dependence.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
+                                                  const Requirement& req,
+                                                  sim::Event completion) {
+  std::vector<sim::Event> preconditions;
+  const RegionNode& node = forest_->region(req.region);
+  for (FieldId f : req.fields) {
+    auto& list = users_[{node.root, f}];
+    std::vector<User> kept;
+    kept.reserve(list.size() + 1);
+    for (User& u : list) {
+      // An operation never depends on itself (e.g. a copy registering
+      // both its read and write requirements).
+      if (u.op_id == op_id) {
+        kept.push_back(std::move(u));
+        continue;
+      }
+      ++pairs_tested_;
+      const bool conflict =
+          privileges_conflict(u.privilege, u.redop, req.privilege,
+                              req.redop) &&
+          forest_->may_alias(u.region, req.region) &&
+          forest_->overlaps_exact(u.region, req.region);
+      if (conflict) {
+        ++dependences_found_;
+        preconditions.push_back(u.completion);
+        // Epoch pruning: a writer that covers a prior user transitively
+        // orders every later conflicting operation, so the prior user can
+        // retire. Only writers dominate (a reader covering a writer must
+        // not hide it from later readers).
+        if (privilege_writes(req.privilege) &&
+            forest_->region(req.region)
+                .ispace.points()
+                .contains_all(forest_->region(u.region).ispace.points())) {
+          continue;  // drop u
+        }
+      }
+      kept.push_back(std::move(u));
+    }
+    kept.push_back(
+        User{op_id, req.privilege, req.redop, req.region, completion});
+    list = std::move(kept);
+  }
+  // Duplicate events (same predecessor via multiple fields) are harmless:
+  // Event::merge tolerates repeats.
+  return preconditions;
+}
+
+void DependenceTracker::reset() {
+  users_.clear();
+  pairs_tested_ = 0;
+  dependences_found_ = 0;
+}
+
+}  // namespace cr::rt

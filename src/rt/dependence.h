@@ -1,0 +1,58 @@
+// Dynamic dependence analysis: Legion's core runtime service (paper §4.1,
+// "Legion discovers parallelism between tasks by computing a dynamic
+// dependence graph over the tasks in an executing program").
+//
+// The tracker records, per (region tree root, field), the operations
+// currently using elements of that tree. A new operation receives the
+// completion events of every prior user it conflicts with — overlapping
+// elements and non-compatible privileges — and is registered as a user
+// itself. Writers that fully cover earlier users retire them (epoch
+// pruning), which keeps the lists short for the common access patterns.
+//
+// This analysis is exactly the per-launch work a single control thread
+// must serialize in the implicit model; `pairs_tested` feeds the cost
+// model with the real amount of analysis performed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rt/task.h"
+#include "sim/event.h"
+
+namespace cr::rt {
+
+class DependenceTracker {
+ public:
+  explicit DependenceTracker(const RegionForest& forest) : forest_(&forest) {}
+
+  // Record an operation's use of a region; returns the completion events
+  // of conflicting predecessors. `completion` is the new operation's own
+  // completion event.
+  std::vector<sim::Event> record(uint64_t op_id, const Requirement& req,
+                                 sim::Event completion);
+
+  // Clear all user lists (between independent executions).
+  void reset();
+
+  uint64_t pairs_tested() const { return pairs_tested_; }
+  uint64_t dependences_found() const { return dependences_found_; }
+
+ private:
+  struct User {
+    uint64_t op_id = 0;
+    Privilege privilege = Privilege::kReadOnly;
+    ReduceOp redop = ReduceOp::kSum;
+    RegionId region = kNoId;
+    sim::Event completion;
+  };
+
+  const RegionForest* forest_;
+  // Keyed by (tree root, field).
+  std::map<std::pair<RegionId, FieldId>, std::vector<User>> users_;
+  uint64_t pairs_tested_ = 0;
+  uint64_t dependences_found_ = 0;
+};
+
+}  // namespace cr::rt

@@ -1,0 +1,57 @@
+// Field spaces: the set of named, typed fields a region's elements carry
+// (paper §2.1 leaves the element type abstract; Legion's structure
+// slicing stores fields separately, which we mirror: one array per field).
+//
+// `virtual_bytes` decouples the cost model from storage: benches run
+// geometrically scaled-down problems, and scaling a field's virtual width
+// keeps the communication-to-computation ratio of the paper's problem
+// sizes (see EXPERIMENTS.md). Real storage is always the declared type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+using FieldId = uint32_t;
+
+enum class FieldType : uint8_t { kF64, kI64 };
+
+struct FieldDecl {
+  FieldId id = 0;
+  FieldType type = FieldType::kF64;
+  std::string name;
+  // Bytes per element charged by the cost model when this field moves.
+  uint32_t virtual_bytes = 8;
+};
+
+class FieldSpace {
+ public:
+  FieldId add_field(std::string name, FieldType type = FieldType::kF64,
+                    uint32_t virtual_bytes = 8) {
+    const FieldId id = static_cast<FieldId>(fields_.size());
+    fields_.push_back(FieldDecl{id, type, std::move(name), virtual_bytes});
+    return id;
+  }
+
+  const FieldDecl& field(FieldId id) const {
+    CR_CHECK(id < fields_.size());
+    return fields_[id];
+  }
+  size_t num_fields() const { return fields_.size(); }
+  const std::vector<FieldDecl>& fields() const { return fields_; }
+
+  uint64_t virtual_bytes_of(const std::vector<FieldId>& ids) const {
+    uint64_t total = 0;
+    for (FieldId id : ids) total += field(id).virtual_bytes;
+    return total;
+  }
+
+ private:
+  std::vector<FieldDecl> fields_;
+};
+
+}  // namespace cr::rt

@@ -1,0 +1,111 @@
+#include "rt/index_space.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+IndexSpace IndexSpace::dense(uint64_t n) {
+  IndexSpace out;
+  out.points_ = support::IntervalSet::range(0, n);
+  out.extents_ = GridExtents::d1(n);
+  out.finish();
+  return out;
+}
+
+IndexSpace IndexSpace::grid(GridExtents extents) {
+  IndexSpace out;
+  out.points_ = support::IntervalSet::range(0, extents.volume());
+  out.extents_ = extents;
+  out.finish();
+  return out;
+}
+
+IndexSpace IndexSpace::unstructured(support::IntervalSet points) {
+  IndexSpace out;
+  out.points_ = std::move(points);
+  out.finish();
+  return out;
+}
+
+IndexSpace IndexSpace::subspace(support::IntervalSet points) const {
+  CR_DCHECK(points_.contains_all(points));
+  IndexSpace out;
+  out.points_ = std::move(points);
+  out.extents_ = extents_;
+  out.finish();
+  return out;
+}
+
+const GridExtents& IndexSpace::extents() const {
+  CR_CHECK_MSG(extents_.has_value(), "unstructured index space");
+  return *extents_;
+}
+
+Rect IndexSpace::bounding_rect() const {
+  CR_CHECK(!empty());
+  const support::Interval b = points_.bounds();
+  if (!structured()) return Rect::d1(static_cast<int64_t>(b.lo),
+                                     static_cast<int64_t>(b.hi));
+  const GridExtents& e = *extents_;
+  const int64_t nz = static_cast<int64_t>(e.n[2]);
+  const int64_t ny = static_cast<int64_t>(e.n[1]);
+  Rect out;
+  out.lo = {INT64_MAX, INT64_MAX, INT64_MAX};
+  out.hi = {INT64_MIN, INT64_MIN, INT64_MIN};
+  auto expand = [&](int d, int64_t lo, int64_t hi) {
+    out.lo[d] = std::min(out.lo[d], lo);
+    out.hi[d] = std::max(out.hi[d], hi);
+  };
+  // Each interval covers a consecutive id range; decompose into
+  // (row = x*ny + y, z) coordinates. The result is conservative (a
+  // superset bbox) for intervals that wrap across rows, which is all the
+  // BVH pruning needs.
+  for (const support::Interval& iv : points_.intervals()) {
+    const int64_t row_lo = static_cast<int64_t>(iv.lo) / nz;
+    const int64_t z_lo = static_cast<int64_t>(iv.lo) % nz;
+    const int64_t row_hi = static_cast<int64_t>(iv.hi - 1) / nz;
+    const int64_t z_hi = static_cast<int64_t>(iv.hi - 1) % nz + 1;
+    if (row_lo == row_hi) {
+      expand(2, z_lo, z_hi);
+    } else {
+      expand(2, 0, nz);
+    }
+    const int64_t x_lo = row_lo / ny, y_lo = row_lo % ny;
+    const int64_t x_hi = row_hi / ny, y_hi = row_hi % ny;
+    expand(0, x_lo, x_hi + 1);
+    if (row_hi - row_lo + 1 >= ny || (x_lo != x_hi && y_lo > y_hi)) {
+      expand(1, 0, ny);  // rows wrap around the y extent
+    } else if (x_lo == x_hi) {
+      expand(1, y_lo, y_hi + 1);
+    } else {
+      expand(1, std::min(y_lo, y_hi), std::max(y_lo, y_hi) + 1);
+    }
+  }
+  return out;
+}
+
+uint64_t IndexSpace::rank(uint64_t point) const {
+  const auto& ivs = points_.intervals();
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), point,
+      [](uint64_t p, const support::Interval& iv) { return p < iv.lo; });
+  CR_CHECK_MSG(it != ivs.begin(), "point not in index space");
+  const size_t idx = static_cast<size_t>(it - ivs.begin()) - 1;
+  CR_CHECK_MSG(point < ivs[idx].hi, "point not in index space");
+  return prefix_[idx] + (point - ivs[idx].lo);
+}
+
+void IndexSpace::finish() {
+  const auto& ivs = points_.intervals();
+  prefix_.resize(ivs.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    prefix_[i] = total;
+    total += ivs[i].size();
+  }
+  total_ = total;
+}
+
+}  // namespace cr::rt

@@ -1,0 +1,45 @@
+#include "rt/mapper.h"
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+Mapper::Mapper(const sim::Machine& machine, MapperConfig config)
+    : nodes_(machine.nodes()),
+      cores_(machine.cores_per_node()),
+      reserved_(config.reserved_cores) {
+  CR_CHECK_MSG(reserved_ < cores_, "no compute cores left after reservation");
+  compute_cores_ = cores_ - reserved_;
+}
+
+uint32_t Mapper::node_of_color(uint64_t c, uint64_t num_colors) const {
+  CR_CHECK(c < num_colors);
+  // Block distribution: ceil(num_colors / nodes) colors per node, leading
+  // nodes take the remainder — identical to the shard blocking so
+  // implicit and SPMD executions place point tasks on the same nodes.
+  const uint64_t base = num_colors / nodes_;
+  const uint64_t rem = num_colors % nodes_;
+  const uint64_t cut = rem * (base + 1);
+  if (c < cut) return static_cast<uint32_t>(c / (base + 1));
+  if (base == 0) return nodes_ - 1;  // fewer colors than nodes
+  return static_cast<uint32_t>(rem + (c - cut) / base);
+}
+
+uint32_t Mapper::shard_node(uint32_t s, uint32_t num_shards) const {
+  CR_CHECK(s < num_shards);
+  // One shard per node in the common case; multiple shards per node
+  // spread evenly otherwise.
+  return static_cast<uint32_t>(
+      static_cast<uint64_t>(s) * nodes_ / num_shards);
+}
+
+sim::ProcId Mapper::compute_proc(uint32_t node, uint64_t seq) const {
+  return sim::ProcId{node,
+                     reserved_ + static_cast<uint32_t>(seq % compute_cores_)};
+}
+
+sim::ProcId Mapper::control_proc(uint32_t node) const {
+  return sim::ProcId{node, 0};
+}
+
+}  // namespace cr::rt

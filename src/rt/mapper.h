@@ -1,0 +1,52 @@
+// The mapping interface (paper §4.2): where tasks and shards run.
+//
+// All tasks — including shard tasks — pass through a Mapper that assigns
+// them to processors. The default policy is the paper's typical strategy:
+// one shard per node, point tasks distributed round-robin over the node's
+// compute cores, with `reserved_cores` held back for the runtime's
+// analysis work (Legion dedicates one core per node to its dynamic
+// analysis; PENNANT's single-node gap in §5.3 comes from exactly this).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.h"
+
+namespace cr::rt {
+
+struct MapperConfig {
+  // Cores per node unavailable to application tasks (runtime analysis).
+  uint32_t reserved_cores = 1;
+};
+
+class Mapper {
+ public:
+  Mapper(const sim::Machine& machine, MapperConfig config);
+  virtual ~Mapper() = default;
+
+  uint32_t nodes() const { return nodes_; }
+  uint32_t compute_cores_per_node() const { return compute_cores_; }
+
+  // Node owning color `c` of a `num_colors`-wide index launch: block
+  // distribution, matching the shard blocking of paper §3.5.
+  virtual uint32_t node_of_color(uint64_t c, uint64_t num_colors) const;
+
+  // Node running shard `s` of `num_shards`.
+  virtual uint32_t shard_node(uint32_t s, uint32_t num_shards) const;
+
+  // The `seq`-th compute task issued on `node`: round-robin over the
+  // node's compute cores (those not reserved for the runtime).
+  virtual sim::ProcId compute_proc(uint32_t node, uint64_t seq) const;
+
+  // Where a control thread (main task or shard) runs: the reserved
+  // runtime core when one exists, else core 0.
+  virtual sim::ProcId control_proc(uint32_t node) const;
+
+ private:
+  uint32_t nodes_;
+  uint32_t cores_;
+  uint32_t compute_cores_;
+  uint32_t reserved_;
+};
+
+}  // namespace cr::rt

@@ -1,0 +1,225 @@
+#include "rt/partition.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+PartitionId partition_equal(RegionForest& forest, RegionId region,
+                            uint64_t colors, std::string name) {
+  CR_CHECK(colors > 0);
+  const IndexSpace& is = forest.region(region).ispace;
+  const uint64_t total = is.size();
+  std::vector<IndexSpace> subs;
+  subs.reserve(colors);
+  uint64_t begin = 0;
+  for (uint64_t c = 0; c < colors; ++c) {
+    // Distribute the remainder over the first `total % colors` pieces.
+    const uint64_t count = total / colors + (c < total % colors ? 1 : 0);
+    support::IntervalSet pts;
+    for (uint64_t k = begin; k < begin + count;) {
+      // Copy whole intervals of the parent between the rank bounds.
+      const uint64_t p = is.point_at(k);
+      const auto& ivs = is.points().intervals();
+      auto it = std::upper_bound(
+          ivs.begin(), ivs.end(), p,
+          [](uint64_t q, const support::Interval& iv) { return q < iv.lo; });
+      const support::Interval iv = *(it - 1);
+      const uint64_t take = std::min(iv.hi - p, begin + count - k);
+      pts.append(p, p + take);
+      k += take;
+    }
+    subs.push_back(is.subspace(std::move(pts)));
+    begin += count;
+  }
+  return forest.create_partition(region, std::move(subs), /*disjoint=*/true,
+                                 /*complete=*/true, std::move(name));
+}
+
+PartitionId partition_grid(RegionForest& forest, RegionId region,
+                           std::array<uint64_t, 3> tiles, std::string name) {
+  const IndexSpace& is = forest.region(region).ispace;
+  const GridExtents& e = is.extents();
+  for (int d = 0; d < 3; ++d) {
+    CR_CHECK(tiles[d] > 0 && tiles[d] <= e.n[d]);
+  }
+  std::vector<IndexSpace> subs;
+  subs.reserve(tiles[0] * tiles[1] * tiles[2]);
+  auto tile_bounds = [](uint64_t n, uint64_t t, uint64_t i, int64_t& lo,
+                        int64_t& hi) {
+    // Even split with remainder spread over the leading tiles.
+    const uint64_t base = n / t, rem = n % t;
+    lo = static_cast<int64_t>(i * base + std::min<uint64_t>(i, rem));
+    hi = lo + static_cast<int64_t>(base + (i < rem ? 1 : 0));
+  };
+  for (uint64_t tx = 0; tx < tiles[0]; ++tx) {
+    for (uint64_t ty = 0; ty < tiles[1]; ++ty) {
+      for (uint64_t tz = 0; tz < tiles[2]; ++tz) {
+        Rect r;
+        tile_bounds(e.n[0], tiles[0], tx, r.lo[0], r.hi[0]);
+        tile_bounds(e.n[1], tiles[1], ty, r.lo[1], r.hi[1]);
+        tile_bounds(e.n[2], tiles[2], tz, r.lo[2], r.hi[2]);
+        subs.push_back(is.subspace(e.rect_ids(r)));
+      }
+    }
+  }
+  return forest.create_partition(region, std::move(subs), /*disjoint=*/true,
+                                 /*complete=*/true, std::move(name));
+}
+
+PartitionId partition_by_color(
+    RegionForest& forest, RegionId region, uint64_t colors,
+    const std::function<uint64_t(uint64_t)>& color_of, std::string name) {
+  CR_CHECK(colors > 0);
+  const IndexSpace& is = forest.region(region).ispace;
+  std::vector<support::IntervalSet> sets(colors);
+  bool complete = true;
+  is.points().for_each_point([&](uint64_t p) {
+    const uint64_t c = color_of(p);
+    if (c == kNoColor) {
+      complete = false;
+      return;
+    }
+    CR_CHECK_MSG(c < colors, "color out of range");
+    sets[c].append_point(p);
+  });
+  std::vector<IndexSpace> subs;
+  subs.reserve(colors);
+  for (auto& s : sets) subs.push_back(is.subspace(std::move(s)));
+  return forest.create_partition(region, std::move(subs), /*disjoint=*/true,
+                                 complete, std::move(name));
+}
+
+PartitionId partition_image(
+    RegionForest& forest, RegionId region, PartitionId source,
+    const std::function<void(uint64_t, std::vector<uint64_t>&)>& targets,
+    std::string name) {
+  const PartitionNode& src = forest.partition(source);
+  const IndexSpace& window = forest.region(region).ispace;
+  std::vector<IndexSpace> subs;
+  subs.reserve(src.subregions.size());
+  std::vector<uint64_t> pts;
+  std::vector<uint64_t> buf;
+  for (RegionId sub : src.subregions) {
+    pts.clear();
+    forest.region(sub).ispace.points().for_each_point([&](uint64_t x) {
+      buf.clear();
+      targets(x, buf);
+      for (uint64_t y : buf) {
+        if (window.contains(y)) pts.push_back(y);
+      }
+    });
+    subs.push_back(window.subspace(support::IntervalSet::from_points(pts)));
+  }
+  // h is unconstrained, so the result must be assumed aliased and is not
+  // in general complete (paper §2.1).
+  return forest.create_partition(region, std::move(subs), /*disjoint=*/false,
+                                 /*complete=*/false, std::move(name));
+}
+
+PartitionId partition_preimage(
+    RegionForest& forest, RegionId region, PartitionId source,
+    const std::function<void(uint64_t, std::vector<uint64_t>&)>& targets,
+    std::string name) {
+  const PartitionNode& src = forest.partition(source);
+  const IndexSpace& domain = forest.region(region).ispace;
+  std::vector<std::vector<uint64_t>> pts(src.subregions.size());
+  std::vector<uint64_t> buf;
+  domain.points().for_each_point([&](uint64_t x) {
+    buf.clear();
+    targets(x, buf);
+    for (uint64_t y : buf) {
+      for (size_t i = 0; i < src.subregions.size(); ++i) {
+        if (forest.region(src.subregions[i]).ispace.contains(y)) {
+          pts[i].push_back(x);
+        }
+      }
+    }
+  });
+  std::vector<IndexSpace> subs;
+  subs.reserve(pts.size());
+  for (auto& p : pts) {
+    subs.push_back(
+        domain.subspace(support::IntervalSet::from_points(std::move(p))));
+  }
+  return forest.create_partition(region, std::move(subs),
+                                 /*disjoint=*/false, /*complete=*/false,
+                                 std::move(name));
+}
+
+PartitionId partition_union(RegionForest& forest, PartitionId a,
+                            PartitionId b, std::string name) {
+  const PartitionNode& pa = forest.partition(a);
+  const PartitionNode& pb = forest.partition(b);
+  CR_CHECK_MSG(pa.parent == pb.parent,
+               "pointwise operators need partitions of the same region");
+  CR_CHECK(pa.subregions.size() == pb.subregions.size());
+  const IndexSpace& parent = forest.region(pa.parent).ispace;
+  std::vector<IndexSpace> subs;
+  subs.reserve(pa.subregions.size());
+  for (size_t i = 0; i < pa.subregions.size(); ++i) {
+    subs.push_back(parent.subspace(
+        forest.region(pa.subregions[i])
+            .ispace.points()
+            .set_union(forest.region(pb.subregions[i]).ispace.points())));
+  }
+  return forest.create_partition(pa.parent, std::move(subs),
+                                 /*disjoint=*/false, /*complete=*/false,
+                                 std::move(name));
+}
+
+PartitionId partition_difference(RegionForest& forest, PartitionId a,
+                                 PartitionId b, std::string name) {
+  const PartitionNode& pa = forest.partition(a);
+  const PartitionNode& pb = forest.partition(b);
+  CR_CHECK_MSG(pa.parent == pb.parent,
+               "pointwise operators need partitions of the same region");
+  CR_CHECK(pa.subregions.size() == pb.subregions.size());
+  const IndexSpace& parent = forest.region(pa.parent).ispace;
+  std::vector<IndexSpace> subs;
+  subs.reserve(pa.subregions.size());
+  for (size_t i = 0; i < pa.subregions.size(); ++i) {
+    subs.push_back(parent.subspace(
+        forest.region(pa.subregions[i])
+            .ispace.points()
+            .set_subtract(
+                forest.region(pb.subregions[i]).ispace.points())));
+  }
+  return forest.create_partition(pa.parent, std::move(subs),
+                                 /*disjoint=*/pa.disjoint,
+                                 /*complete=*/false, std::move(name));
+}
+
+PartitionId partition_compose(
+    RegionForest& forest, PartitionId source, uint64_t colors,
+    const std::function<uint64_t(uint64_t)>& f, std::string name) {
+  const PartitionNode& src = forest.partition(source);
+  std::vector<IndexSpace> subs;
+  subs.reserve(colors);
+  for (uint64_t i = 0; i < colors; ++i) {
+    const uint64_t j = f(i);
+    CR_CHECK_MSG(j < src.subregions.size(), "projection out of range");
+    subs.push_back(forest.region(src.subregions[j]).ispace);
+  }
+  return forest.create_partition(src.parent, std::move(subs),
+                                 /*disjoint=*/false, /*complete=*/false,
+                                 std::move(name));
+}
+
+PartitionId partition_intersect(RegionForest& forest, RegionId window,
+                                PartitionId source, std::string name) {
+  const PartitionNode& src = forest.partition(source);
+  const IndexSpace& wis = forest.region(window).ispace;
+  std::vector<IndexSpace> subs;
+  subs.reserve(src.subregions.size());
+  for (RegionId sub : src.subregions) {
+    subs.push_back(wis.subspace(
+        forest.region(sub).ispace.points().set_intersect(wis.points())));
+  }
+  return forest.create_partition(window, std::move(subs),
+                                 /*disjoint=*/src.disjoint,
+                                 /*complete=*/false, std::move(name));
+}
+
+}  // namespace cr::rt

@@ -1,0 +1,77 @@
+// Partitioning operators: the paper's sub-language for naming the data
+// subsets parallel computations touch (paper §2.1 and [Treichler et al.,
+// Dependent Partitioning]).
+//
+// Each operator builds the subspaces and registers the partition in the
+// forest with the statically known disjointness/completeness of that
+// operator: equal/block/grid/coloring are disjoint; images through
+// unconstrained functions are aliased (the compiler must assume overlap).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rt/region_tree.h"
+
+namespace cr::rt {
+
+// Split into `colors` contiguous, nearly equal pieces (by element rank).
+// Disjoint and complete.
+PartitionId partition_equal(RegionForest& forest, RegionId region,
+                            uint64_t colors, std::string name = {});
+
+// Structured tiling: tiles[d] tiles along dimension d of the region's
+// grid. Disjoint and complete. The region must be structured.
+PartitionId partition_grid(RegionForest& forest, RegionId region,
+                           std::array<uint64_t, 3> tiles,
+                           std::string name = {});
+
+// Disjoint coloring: every element gets color_of(id) in [0, colors), or
+// kNoColor to be left out (making the partition incomplete).
+inline constexpr uint64_t kNoColor = ~0ull;
+PartitionId partition_by_color(
+    RegionForest& forest, RegionId region, uint64_t colors,
+    const std::function<uint64_t(uint64_t)>& color_of, std::string name = {});
+
+// Image partition: subregion i = { y in `region` : y in targets(x), x in
+// source[i] } — the paper's image(B, PB, h). Aliased (h unconstrained),
+// generally incomplete. `targets` appends h(x) values to its out-param.
+PartitionId partition_image(
+    RegionForest& forest, RegionId region, PartitionId source,
+    const std::function<void(uint64_t, std::vector<uint64_t>&)>& targets,
+    std::string name = {});
+
+// Composed projection: subregion i = source[f(i)] over `colors` colors;
+// used to normalize region arguments p[f(i)] to q[i] (paper §2.2).
+// Aliased unless f is injective, which we do not assume.
+PartitionId partition_compose(
+    RegionForest& forest, PartitionId source, uint64_t colors,
+    const std::function<uint64_t(uint64_t)>& f, std::string name = {});
+
+// Preimage partition: subregion i = { x in `region` : targets(x) ∩
+// source[i] != ∅ } — the set of elements *pointing into* each subregion
+// (dependent partitioning's dual of image). Disjoint iff each element
+// has exactly one target subregion, which cannot be assumed: aliased.
+PartitionId partition_preimage(
+    RegionForest& forest, RegionId region, PartitionId source,
+    const std::function<void(uint64_t, std::vector<uint64_t>&)>& targets,
+    std::string name = {});
+
+// Pointwise boolean operators over two partitions with the same color
+// space: subregion i = a[i] ∪ b[i] / a[i] \ b[i]. Union preserves
+// disjointness only if both inputs are disjoint and never share
+// elements across colors (not assumed: aliased); difference preserves
+// the first input's disjointness.
+PartitionId partition_union(RegionForest& forest, PartitionId a,
+                            PartitionId b, std::string name = {});
+PartitionId partition_difference(RegionForest& forest, PartitionId a,
+                                 PartitionId b, std::string name = {});
+
+// Restrict each subregion of `source` to `window`'s index space:
+// subregion i = source[i] ∩ window (paper §4.5 builds PB, SB, QB this
+// way from all_private / all_ghost). Preserves the source's
+// disjointness; registered under `window`.
+PartitionId partition_intersect(RegionForest& forest, RegionId window,
+                                PartitionId source, std::string name = {});
+
+}  // namespace cr::rt

@@ -1,0 +1,164 @@
+#include "rt/region_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace cr::rt {
+
+RegionId RegionForest::create_region(IndexSpace ispace,
+                                     std::shared_ptr<FieldSpace> fs,
+                                     std::string name) {
+  const RegionId id = static_cast<RegionId>(regions_.size());
+  RegionNode node;
+  node.id = id;
+  node.ispace = std::move(ispace);
+  node.fields = std::move(fs);
+  node.root = id;
+  node.name = name.empty() ? "R" + std::to_string(id) : std::move(name);
+  regions_.push_back(std::move(node));
+  return id;
+}
+
+PartitionId RegionForest::create_partition(RegionId parent,
+                                           std::vector<IndexSpace> subspaces,
+                                           bool disjoint, bool complete,
+                                           std::string name) {
+  CR_CHECK(parent < regions_.size());
+  const PartitionId pid = static_cast<PartitionId>(partitions_.size());
+  PartitionNode pnode;
+  pnode.id = pid;
+  pnode.parent = parent;
+  pnode.disjoint = disjoint;
+  pnode.complete = complete;
+  pnode.name = name.empty() ? "P" + std::to_string(pid) : std::move(name);
+
+#ifndef NDEBUG
+  // Verify the static disjointness claim and containment in the parent.
+  for (size_t i = 0; i < subspaces.size(); ++i) {
+    CR_CHECK_MSG(
+        regions_[parent].ispace.points().contains_all(subspaces[i].points()),
+        "subregion escapes parent region");
+    if (disjoint) {
+      for (size_t j = i + 1; j < subspaces.size(); ++j) {
+        CR_CHECK_MSG(subspaces[i].points().disjoint(subspaces[j].points()),
+                     "partition claimed disjoint but subregions overlap");
+      }
+    }
+  }
+#endif
+
+  for (uint64_t color = 0; color < subspaces.size(); ++color) {
+    const RegionId rid = static_cast<RegionId>(regions_.size());
+    RegionNode sub;
+    sub.id = rid;
+    sub.ispace = std::move(subspaces[color]);
+    sub.fields = regions_[parent].fields;
+    sub.root = regions_[parent].root;
+    sub.parent = pid;
+    sub.color = color;
+    sub.name = pnode.name + "[" + std::to_string(color) + "]";
+    regions_.push_back(std::move(sub));
+    pnode.subregions.push_back(rid);
+  }
+  partitions_.push_back(std::move(pnode));
+  regions_[parent].partitions.push_back(pid);
+  return pid;
+}
+
+const RegionNode& RegionForest::region(RegionId id) const {
+  CR_CHECK(id < regions_.size());
+  return regions_[id];
+}
+
+const PartitionNode& RegionForest::partition(PartitionId id) const {
+  CR_CHECK(id < partitions_.size());
+  return partitions_[id];
+}
+
+RegionId RegionForest::subregion(PartitionId p, uint64_t color) const {
+  const PartitionNode& node = partition(p);
+  CR_CHECK(color < node.subregions.size());
+  return node.subregions[color];
+}
+
+std::vector<RegionForest::PathStep> RegionForest::path_to_root(
+    RegionId r) const {
+  // Collected bottom-up, then reversed so paths compare root-down.
+  std::vector<PathStep> path;
+  RegionId cur = r;
+  while (regions_[cur].parent != kNoId) {
+    path.push_back({regions_[cur].parent, regions_[cur].color});
+    cur = partitions_[regions_[cur].parent].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool RegionForest::may_alias(RegionId a, RegionId b) const {
+  CR_CHECK(a < regions_.size() && b < regions_.size());
+  if (a == b) return true;
+  if (regions_[a].root != regions_[b].root) return false;  // separate trees
+  const auto pa = path_to_root(a);
+  const auto pb = path_to_root(b);
+  const size_t common = std::min(pa.size(), pb.size());
+  for (size_t k = 0; k < common; ++k) {
+    if (pa[k].partition != pb[k].partition) {
+      // Paths diverge into different partitions of the same region:
+      // nothing is known about their overlap.
+      return true;
+    }
+    if (pa[k].color != pb[k].color) {
+      // Same partition, different colors: disjoint iff the partition is.
+      return !partitions_[pa[k].partition].disjoint;
+    }
+  }
+  // One region is an ancestor of the other: they share elements.
+  return true;
+}
+
+bool RegionForest::overlaps_exact(RegionId a, RegionId b) const {
+  return region(a).ispace.points().overlaps(region(b).ispace.points());
+}
+
+bool RegionForest::partitions_may_alias(PartitionId p, PartitionId q) const {
+  const PartitionNode& np = partition(p);
+  const PartitionNode& nq = partition(q);
+  if (p == q) return !np.disjoint;
+  // The partitions' footprints are bounded by their parent regions; if
+  // those are provably disjoint, no subregion pair can overlap.
+  return may_alias(np.parent, nq.parent);
+}
+
+std::string RegionForest::to_string() const {
+  std::ostringstream os;
+  // Recursive printer over the forest structure.
+  std::function<void(RegionId, int)> print_region =
+      [&](RegionId r, int depth) {
+        const RegionNode& node = regions_[r];
+        os << std::string(static_cast<size_t>(depth) * 2, ' ') << node.name
+           << " (" << node.ispace.size() << " elements)\n";
+        for (PartitionId p : node.partitions) {
+          const PartitionNode& pn = partitions_[p];
+          os << std::string(static_cast<size_t>(depth + 1) * 2, ' ') << "*"
+             << pn.name << " [" << (pn.disjoint ? "disjoint" : "aliased")
+             << (pn.complete ? ", complete" : "") << ", "
+             << pn.subregions.size() << " colors]\n";
+          // Print subregion subtrees only when they carry further
+          // structure; flat colors are summarized by the line above.
+          for (RegionId sub : pn.subregions) {
+            if (!regions_[sub].partitions.empty()) {
+              print_region(sub, depth + 2);
+            }
+          }
+        }
+      };
+  for (const RegionNode& node : regions_) {
+    if (node.parent == kNoId) print_region(node.id, 0);
+  }
+  return os.str();
+}
+
+}  // namespace cr::rt

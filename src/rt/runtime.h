@@ -1,0 +1,67 @@
+// The runtime context: one simulated machine plus the Legion-analog
+// services layered on it. Executors (implicit, SPMD, and the hand-written
+// baselines) share this bundle; constructing one Runtime corresponds to
+// one job allocation on the cluster.
+#pragma once
+
+#include <memory>
+
+#include "rt/copy.h"
+#include "rt/dependence.h"
+#include "rt/mapper.h"
+#include "rt/partition.h"
+#include "rt/physical.h"
+#include "rt/region_tree.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "support/stats.h"
+
+namespace cr::rt {
+
+struct RuntimeConfig {
+  sim::MachineConfig machine;
+  sim::NetworkConfig network;
+  MapperConfig mapper;
+  // When true, physical instances are allocated and kernels/copies move
+  // real data (correctness runs). When false, only virtual time advances
+  // (scalability sweeps at sizes where materializing data is pointless).
+  bool real_data = true;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Machine& machine() { return machine_; }
+  sim::Network& network() { return network_; }
+  RegionForest& forest() { return forest_; }
+  const RegionForest& forest() const { return forest_; }
+  DependenceTracker& deps() { return deps_; }
+  CopyEngine& copies() { return copies_; }
+  Mapper& mapper() { return *mapper_; }
+  support::Stats& stats() { return stats_; }
+
+  bool real_data() const { return config_.real_data; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // Null in virtual-only mode.
+  InstanceManager* instances() {
+    return config_.real_data ? &instances_ : nullptr;
+  }
+
+ private:
+  RuntimeConfig config_;
+  sim::Simulator sim_;
+  sim::Machine machine_;
+  sim::Network network_;
+  RegionForest forest_;
+  InstanceManager instances_;
+  DependenceTracker deps_;
+  CopyEngine copies_;
+  std::unique_ptr<Mapper> mapper_;
+  support::Stats stats_;
+};
+
+}  // namespace cr::rt

@@ -1,0 +1,54 @@
+#include "sim/event.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::sim {
+
+void Event::subscribe(std::function<void(Time)> fn) const {
+  if (!state_) {
+    fn(0);
+    return;
+  }
+  if (state_->triggered) {
+    fn(state_->trigger_time);
+    return;
+  }
+  state_->waiters.push_back(std::move(fn));
+}
+
+Event Event::merge(Simulator& sim, const std::vector<Event>& events) {
+  // Count the untriggered inputs; if none, the merge is already complete.
+  size_t pending = 0;
+  for (const Event& e : events) {
+    if (!e.has_triggered()) ++pending;
+  }
+  if (pending == 0) return Event();
+
+  UserEvent merged(sim);
+  // The counter is shared by the subscriptions below.
+  auto remaining = std::make_shared<size_t>(pending);
+  for (const Event& e : events) {
+    if (e.has_triggered()) continue;
+    e.subscribe([merged, remaining](Time) mutable {
+      if (--*remaining == 0) merged.trigger();
+    });
+  }
+  return merged.event();
+}
+
+UserEvent::UserEvent(Simulator& sim)
+    : sim_(&sim), state_(std::make_shared<detail::EventState>()) {}
+
+void UserEvent::trigger() {
+  CR_CHECK_MSG(!state_->triggered, "UserEvent triggered twice");
+  state_->triggered = true;
+  state_->trigger_time = sim_->now();
+  auto waiters = std::move(state_->waiters);
+  state_->waiters.clear();
+  for (auto& fn : waiters) fn(state_->trigger_time);
+}
+
+}  // namespace cr::sim

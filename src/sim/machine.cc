@@ -1,0 +1,32 @@
+#include "sim/machine.h"
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::sim {
+
+Machine::Machine(Simulator& sim, MachineConfig config) : config_(config) {
+  CR_CHECK(config.nodes > 0 && config.cores_per_node > 0);
+  procs_.reserve(static_cast<size_t>(config.nodes) * config.cores_per_node);
+  for (uint32_t n = 0; n < config.nodes; ++n) {
+    for (uint32_t c = 0; c < config.cores_per_node; ++c) {
+      procs_.push_back(std::make_unique<Processor>(sim, ProcId{n, c}));
+    }
+  }
+}
+
+Processor& Machine::proc(uint32_t node, uint32_t core) {
+  CR_CHECK(node < config_.nodes && core < config_.cores_per_node);
+  return *procs_[static_cast<size_t>(node) * config_.cores_per_node + core];
+}
+
+Time Machine::node_busy_time(uint32_t node) const {
+  Time total = 0;
+  for (uint32_t c = 0; c < config_.cores_per_node; ++c) {
+    total += procs_[static_cast<size_t>(node) * config_.cores_per_node + c]
+                 ->busy_time();
+  }
+  return total;
+}
+
+}  // namespace cr::sim

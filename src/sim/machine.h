@@ -1,0 +1,39 @@
+// The simulated machine: `nodes` x `cores_per_node` processors plus one
+// NIC per node. Mirrors the Piz Daint configuration used in the paper
+// (1024 nodes x 12 cores) by default, but any shape can be built.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/processor.h"
+
+namespace cr::sim {
+
+class Simulator;
+
+struct MachineConfig {
+  uint32_t nodes = 1;
+  uint32_t cores_per_node = 12;
+};
+
+class Machine {
+ public:
+  Machine(Simulator& sim, MachineConfig config);
+
+  uint32_t nodes() const { return config_.nodes; }
+  uint32_t cores_per_node() const { return config_.cores_per_node; }
+
+  Processor& proc(uint32_t node, uint32_t core);
+  Processor& proc(ProcId id) { return proc(id.node, id.core); }
+
+  // Aggregate busy time across all cores of a node.
+  Time node_busy_time(uint32_t node) const;
+
+ private:
+  MachineConfig config_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+}  // namespace cr::sim

@@ -1,0 +1,70 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::sim {
+
+Network::Network(Simulator& sim, uint32_t nodes, NetworkConfig config)
+    : sim_(&sim), config_(config), nic_free_(nodes, 0) {
+  CR_CHECK(nodes > 0);
+  CR_CHECK(config.bandwidth_gbps > 0 && config.mem_bandwidth_gbps > 0);
+}
+
+Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
+                    Event precondition, std::function<void()> on_delivery) {
+  CR_CHECK(src < nic_free_.size() && dst < nic_free_.size());
+  UserEvent delivered(*sim_);
+  auto work = on_delivery
+                  ? std::make_shared<std::function<void()>>(
+                        std::move(on_delivery))
+                  : nullptr;
+  precondition.subscribe([this, src, dst, bytes, work, delivered](
+                             Time ready) mutable {
+    ++messages_;
+    bytes_ += bytes;
+    Time arrive;
+    if (src == dst) {
+      arrive = ready + local_copy_time(bytes);
+    } else {
+      const Time serial =
+          static_cast<Time>(static_cast<double>(bytes) /
+                            config_.bandwidth_gbps);  // ns at GB/s == B/ns
+      const Time inject = std::max(ready, nic_free_[src]);
+      nic_free_[src] = inject + serial;
+      arrive = inject + serial + config_.latency_ns + config_.am_handler_ns;
+    }
+    sim_->schedule_at(arrive, [work, delivered]() mutable {
+      if (work) (*work)();
+      delivered.trigger();
+    });
+  });
+  return delivered.event();
+}
+
+Time Network::transfer_time(uint64_t bytes) const {
+  return config_.latency_ns + config_.am_handler_ns +
+         static_cast<Time>(static_cast<double>(bytes) /
+                           config_.bandwidth_gbps);
+}
+
+Time Network::local_copy_time(uint64_t bytes) const {
+  return static_cast<Time>(static_cast<double>(bytes) /
+                           config_.mem_bandwidth_gbps);
+}
+
+Time Network::tree_latency(uint32_t participants, uint32_t fanin) const {
+  CR_CHECK(fanin >= 2);
+  if (participants <= 1) return 0;
+  const double levels =
+      std::ceil(std::log(static_cast<double>(participants)) /
+                std::log(static_cast<double>(fanin)));
+  return static_cast<Time>(levels) *
+         (config_.latency_ns + config_.am_handler_ns);
+}
+
+}  // namespace cr::sim

@@ -1,0 +1,31 @@
+#include "sim/processor.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace cr::sim {
+
+Event Processor::spawn(Event precondition, Time duration,
+                       std::function<void()> work) {
+  UserEvent done(*sim_);
+  auto work_ptr =
+      work ? std::make_shared<std::function<void()>>(std::move(work))
+           : nullptr;
+  precondition.subscribe([this, duration, work_ptr, done](Time ready) mutable {
+    // FIFO in ready order: the core picks this item up when it next goes
+    // idle at or after `ready`.
+    const Time start = std::max(ready, next_free_);
+    const Time end = start + duration;
+    next_free_ = end;
+    busy_ += duration;
+    if (work_ptr) {
+      sim_->schedule_at(start, [work_ptr] { (*work_ptr)(); });
+    }
+    sim_->schedule_at(end, [done]() mutable { done.trigger(); });
+  });
+  return done.event();
+}
+
+}  // namespace cr::sim

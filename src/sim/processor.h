@@ -1,0 +1,49 @@
+// A simulated processor core. Work items occupy the core for a span of
+// virtual time; items that become ready while the core is busy queue up
+// FIFO (in ready order). The `work` callback performs real side effects
+// (kernel execution, analysis bookkeeping) at the item's virtual start
+// time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event.h"
+
+namespace cr::sim {
+
+class Simulator;
+
+struct ProcId {
+  uint32_t node = 0;
+  uint32_t core = 0;
+  friend bool operator==(const ProcId&, const ProcId&) = default;
+};
+
+class Processor {
+ public:
+  Processor(Simulator& sim, ProcId id) : sim_(&sim), id_(id) {}
+
+  ProcId id() const { return id_; }
+
+  // Enqueue a work item: after `precondition` triggers, the item occupies
+  // this core for `duration` ns (FIFO with other items that are ready).
+  // `work` (optional) runs at the item's start time. Returns the
+  // completion event.
+  Event spawn(Event precondition, Time duration,
+              std::function<void()> work = nullptr);
+
+  // Total busy time accumulated (for utilization reports).
+  Time busy_time() const { return busy_; }
+  // The time this core finished (or will finish) its last accepted item.
+  Time next_free() const { return next_free_; }
+
+ private:
+  Simulator* sim_;
+  ProcId id_;
+  Time next_free_ = 0;
+  Time busy_ = 0;
+};
+
+}  // namespace cr::sim

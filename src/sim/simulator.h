@@ -1,0 +1,55 @@
+// The discrete-event simulator: a virtual clock plus an event queue.
+//
+// This is the substitute for a physical cluster. All runtime activity —
+// task execution, copies, synchronization, network messages — is expressed
+// as callbacks scheduled at virtual times. Ties are broken by insertion
+// sequence number, so a given program unrolling always produces the same
+// timeline (bit-for-bit deterministic results).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace cr::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedule fn at absolute virtual time t (>= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+  // Schedule fn dt ns from now.
+  void schedule_after(Time dt, std::function<void()> fn);
+
+  // Run until the queue drains. Returns the final time.
+  Time run();
+
+  // True while run() is processing events.
+  bool running() const { return running_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool running_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace cr::sim

@@ -1,0 +1,41 @@
+// Contract-checking macros used throughout the library.
+//
+// CR_CHECK is always on (it guards invariants whose violation would make
+// results silently wrong); CR_DCHECK compiles out in NDEBUG builds and is
+// used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cr::support {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace cr::support
+
+#define CR_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::cr::support::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CR_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) ::cr::support::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CR_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define CR_DCHECK(cond) CR_CHECK(cond)
+#endif
+
+#define CR_UNREACHABLE(msg) \
+  ::cr::support::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Not thread-safe by design: the DES is
+// single-threaded and logging from real-threaded test code should go
+// through gtest instead.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cr::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cr::support
+
+#define CR_LOG(level)                                                     \
+  if (::cr::support::LogLevel::level < ::cr::support::log_threshold()) {} \
+  else ::cr::support::detail::LogLine(::cr::support::LogLevel::level)

@@ -1,0 +1,36 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cr::support {
+
+void Stats::add(const std::string& name, double amount) {
+  values_[name] += amount;
+}
+
+void Stats::set_max(const std::string& name, double value) {
+  auto [it, inserted] = values_.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+double Stats::get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool Stats::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+void Stats::clear() { values_.clear(); }
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : values_) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cr::support

@@ -1,0 +1,27 @@
+// Named counters and accumulators, used by the runtime to report
+// analysis work (tasks launched, copies issued, bytes moved, dependence
+// pairs tested) and by the benches to print table rows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cr::support {
+
+class Stats {
+ public:
+  void add(const std::string& name, double amount = 1.0);
+  void set_max(const std::string& name, double value);
+  double get(const std::string& name) const;  // 0 if absent
+  bool has(const std::string& name) const;
+  void clear();
+
+  const std::map<std::string, double>& all() const { return values_; }
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace cr::support

@@ -1,0 +1,92 @@
+#include "apps/common/bsp.h"
+
+#include <gtest/gtest.h>
+
+namespace cr::apps {
+namespace {
+
+exec::CostModel flat_cost() {
+  exec::CostModel c;
+  c.network.latency_ns = 1000;
+  c.network.bandwidth_gbps = 1.0;
+  c.network.mem_bandwidth_gbps = 100.0;
+  c.network.am_handler_ns = 0;
+  return c;
+}
+
+TEST(Bsp, ComputeOnlyIsIterationsTimesCompute) {
+  BspConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks_per_node = 1;
+  cfg.cores_per_node = 4;
+  cfg.iterations = 5;
+  cfg.compute_ns = [](uint32_t, uint64_t) { return 1000.0; };
+  EXPECT_EQ(run_bsp(cfg, flat_cost()), 5000u);
+}
+
+TEST(Bsp, NeighborExchangeAddsLatencyOncePerIteration) {
+  BspConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.cores_per_node = 1;
+  cfg.iterations = 2;
+  cfg.compute_ns = [](uint32_t, uint64_t) { return 10000.0; };
+  cfg.sends = [](uint32_t r) {
+    return std::vector<BspMessage>{{r == 0 ? 1u : 0u, 1000}};
+  };
+  // Per iteration: compute 10us, then the 1 KB message (1 us serial +
+  // 1 us latency) gates the next iteration.
+  const sim::Time t = run_bsp(cfg, flat_cost());
+  EXPECT_EQ(t, 2 * 10000u + /*last recv gates nothing more than end*/
+                   2 * 2000u);
+}
+
+TEST(Bsp, SlowestRankGatesAllreduce) {
+  BspConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks_per_node = 1;
+  cfg.cores_per_node = 1;
+  cfg.iterations = 3;
+  cfg.allreduce_per_iteration = true;
+  cfg.compute_ns = [](uint32_t r, uint64_t) {
+    return r == 2 ? 2000.0 : 1000.0;  // one straggler
+  };
+  const sim::Time t = run_bsp(cfg, flat_cost());
+  // Every iteration pays the straggler plus the collective fan-in/out.
+  sim::Simulator sim;
+  sim::Network net(sim, 4, flat_cost().network);
+  const sim::Time coll = 2 * net.tree_latency(4);
+  EXPECT_EQ(t, 3 * (2000 + coll));
+}
+
+TEST(Bsp, NoiseFactorDeterministicAndBounded) {
+  Noise noise{0.25, 0.5};
+  int slow = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const double f = noise_factor(k, noise);
+    EXPECT_EQ(f, noise_factor(k, noise));
+    EXPECT_TRUE(f == 1.0 || f == 1.5);
+    if (f > 1.0) ++slow;
+  }
+  // ~25% of draws are slow.
+  EXPECT_GT(slow, 180);
+  EXPECT_LT(slow, 320);
+}
+
+TEST(Bsp, ZeroNoiseIsIdentity) {
+  EXPECT_EQ(noise_factor(123, Noise{}), 1.0);
+}
+
+TEST(Bsp, RanksPerCoreOverlapAcrossCores) {
+  // 2 ranks on 2 cores: their compute overlaps.
+  BspConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 2;
+  cfg.cores_per_node = 2;
+  cfg.iterations = 1;
+  cfg.compute_ns = [](uint32_t, uint64_t) { return 7000.0; };
+  EXPECT_EQ(run_bsp(cfg, flat_cost()), 7000u);
+}
+
+}  // namespace
+}  // namespace cr::apps

@@ -1,0 +1,195 @@
+#include "apps/circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/sequential_exec.h"
+#include "exec/spmd_exec.h"
+
+namespace cr::apps::circuit {
+namespace {
+
+using exec::CostModel;
+
+TEST(CircuitGraph, GeneratorInvariants) {
+  GraphConfig gc;
+  gc.pieces = 8;
+  gc.nodes_per_piece = 32;
+  gc.wires_per_piece = 96;
+  gc.pct_cross = 0.2;
+  gc.window = 2;
+  Graph g = generate_graph(gc);
+  ASSERT_EQ(g.in_node.size(), g.num_wires());
+  uint64_t cross = 0;
+  for (uint64_t w = 0; w < g.num_wires(); ++w) {
+    EXPECT_LT(g.in_node[w], g.num_nodes());
+    EXPECT_LT(g.out_node[w], g.num_nodes());
+    EXPECT_NE(g.in_node[w], g.out_node[w]);
+    EXPECT_EQ(g.piece_of_node(g.in_node[w]), g.piece_of_wire(w));
+    const uint64_t pw = g.piece_of_wire(w);
+    const uint64_t po = g.piece_of_node(g.out_node[w]);
+    if (po != pw) {
+      ++cross;
+      // Cross wires stay within the window (sparsity of intersections).
+      EXPECT_LE(po > pw ? po - pw : pw - po, gc.window);
+      EXPECT_TRUE(g.shared[g.out_node[w]]);
+      EXPECT_TRUE(g.shared[g.in_node[w]]);
+    }
+  }
+  EXPECT_GT(cross, 0u);
+  EXPECT_LT(cross, g.num_wires() / 2);
+}
+
+TEST(CircuitGraph, DeterministicBySeed) {
+  GraphConfig gc;
+  gc.pieces = 4;
+  Graph a = generate_graph(gc);
+  Graph b = generate_graph(gc);
+  EXPECT_EQ(a.in_node, b.in_node);
+  EXPECT_EQ(a.out_node, b.out_node);
+}
+
+TEST(Circuit, HierarchicalTreeProvesPrivateDisjoint) {
+  rt::Runtime rt(exec::runtime_config(2, 4, CostModel{}, true));
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.pieces_per_node = 2;
+  cfg.nodes_per_piece = 24;
+  cfg.wires_per_piece = 64;
+  App app = build(rt, cfg);
+  // The compiler can prove private partitions never communicate.
+  EXPECT_FALSE(rt.forest().partitions_may_alias(app.p_pvt, app.p_gst));
+  EXPECT_FALSE(rt.forest().partitions_may_alias(app.p_pvt, app.p_shr));
+  EXPECT_TRUE(rt.forest().partitions_may_alias(app.p_shr, app.p_gst));
+}
+
+double total_vc(const exec::SequentialResult& r, const App& app,
+                uint64_t n) {
+  double acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += r.read_f64(app.rn, app.f_voltage, i) *
+           r.read_f64(app.rn, app.f_cap, i);
+  }
+  return acc;
+}
+
+TEST(Circuit, OracleConservesChargeWithoutLeakage) {
+  rt::Runtime rt(exec::runtime_config(1, 4, CostModel{}, true));
+  Config cfg;
+  cfg.pieces_per_node = 4;
+  cfg.nodes_per_piece = 32;
+  cfg.wires_per_piece = 96;
+  cfg.steps = 1;
+  cfg.leakage = 0.0;
+  App one = build(rt, cfg);
+  exec::SequentialResult r1 = exec::run_sequential(one.program);
+
+  rt::Runtime rt2(exec::runtime_config(1, 4, CostModel{}, true));
+  cfg.steps = 6;
+  App six = build(rt2, cfg);
+  exec::SequentialResult r6 = exec::run_sequential(six.program);
+
+  // Sum of V*C is invariant across steps (charge only moves).
+  EXPECT_NEAR(total_vc(r1, one, one.graph.num_nodes()),
+              total_vc(r6, six, six.graph.num_nodes()), 1e-6);
+}
+
+class CircuitEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint32_t, bool>> {};
+
+TEST_P(CircuitEquivalence, MatchesOracle) {
+  const uint32_t nodes = std::get<0>(GetParam());
+  const bool spmd = std::get<1>(GetParam());
+  rt::Runtime rt(exec::runtime_config(nodes, 4, CostModel{}, true));
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.pieces_per_node = 2;
+  cfg.nodes_per_piece = 24;
+  cfg.wires_per_piece = 72;
+  cfg.steps = 3;
+  cfg.pct_cross = 0.15;
+  cfg.leakage = 0.05;
+  App app = build(rt, cfg);
+  exec::SequentialResult oracle = exec::run_sequential(app.program);
+  exec::PreparedRun run =
+      spmd ? exec::prepare_spmd(rt, app.program, CostModel{}, {})
+           : exec::prepare_implicit(rt, app.program, CostModel{}, {});
+  run.run();
+  for (uint64_t n = 0; n < app.graph.num_nodes(); ++n) {
+    ASSERT_NEAR(run.engine->read_root_f64(app.rn, app.f_voltage, n),
+                oracle.read_f64(app.rn, app.f_voltage, n), 1e-12)
+        << "voltage[" << n << "]";
+    ASSERT_NEAR(run.engine->read_root_f64(app.rn, app.f_charge, n),
+                oracle.read_f64(app.rn, app.f_charge, n), 1e-12);
+  }
+  for (uint64_t w = 0; w < app.graph.num_wires(); ++w) {
+    ASSERT_NEAR(run.engine->read_root_f64(app.rw, app.f_current, w),
+                oracle.read_f64(app.rw, app.f_current, w), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CircuitEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u), ::testing::Bool()));
+
+TEST(Circuit, SpmdWithBarriersAndNoIntersectionsStillCorrect) {
+  rt::Runtime rt(exec::runtime_config(3, 4, CostModel{}, true));
+  Config cfg;
+  cfg.nodes = 3;
+  cfg.pieces_per_node = 2;
+  cfg.nodes_per_piece = 20;
+  cfg.wires_per_piece = 60;
+  cfg.steps = 2;
+  App app = build(rt, cfg);
+  exec::SequentialResult oracle = exec::run_sequential(app.program);
+  passes::PipelineOptions opt;
+  opt.p2p_sync = false;
+  opt.intersection_opt = false;
+  opt.copy_placement = false;
+  exec::PreparedRun run =
+      exec::prepare_spmd(rt, app.program, CostModel{}, opt);
+  run.run();
+  for (uint64_t n = 0; n < app.graph.num_nodes(); ++n) {
+    ASSERT_NEAR(run.engine->read_root_f64(app.rn, app.f_voltage, n),
+                oracle.read_f64(app.rn, app.f_voltage, n), 1e-12);
+  }
+}
+
+
+// The full pipeline-option matrix on the most structurally demanding app
+// (hierarchical trees + region reductions): every combination must still
+// reproduce the oracle.
+class CircuitOptions
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, bool>> {};
+
+TEST_P(CircuitOptions, AllPipelineVariantsMatchOracle) {
+  passes::PipelineOptions opt;
+  opt.copy_placement = std::get<0>(GetParam());
+  opt.intersection_opt = std::get<1>(GetParam());
+  opt.p2p_sync = std::get<2>(GetParam());
+  opt.hierarchical = std::get<3>(GetParam());
+  rt::Runtime rt(exec::runtime_config(3, 4, CostModel{}, true));
+  Config cfg;
+  cfg.nodes = 3;
+  cfg.pieces_per_node = 2;
+  cfg.nodes_per_piece = 16;
+  cfg.wires_per_piece = 48;
+  cfg.steps = 2;
+  cfg.pct_cross = 0.2;
+  App app = build(rt, cfg);
+  exec::SequentialResult oracle = exec::run_sequential(app.program);
+  exec::PreparedRun run = exec::prepare_spmd(rt, app.program, CostModel{}, opt);
+  run.run();
+  for (uint64_t n = 0; n < app.graph.num_nodes(); ++n) {
+    ASSERT_NEAR(run.engine->read_root_f64(app.rn, app.f_voltage, n),
+                oracle.read_f64(app.rn, app.f_voltage, n), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CircuitOptions,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace cr::apps::circuit

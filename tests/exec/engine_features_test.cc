@@ -1,0 +1,112 @@
+// Tests for the execution-engine features beyond plain interpretation:
+// bounded run-ahead windows, timeline tracing, noise injection, and the
+// quiescence check.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exec/sequential_exec.h"
+#include "exec/spmd_exec.h"
+#include "testing/fig2.h"
+
+namespace cr::exec {
+namespace {
+
+sim::Time run_fig2(CostModel cost, bool spmd, uint32_t nodes = 4) {
+  cost.track_dependences = false;
+  rt::Runtime rt(runtime_config(nodes, 4, cost, /*real_data=*/false));
+  testing::Fig2 fig(rt.forest(), 64 * nodes, 4 * nodes, 6);
+  for (auto& t : fig.program.tasks) {
+    t.kernel = nullptr;
+    t.cost_base_ns = 2e6;  // 2 ms grain: durations dominate the timeline
+  }
+  PreparedRun run = spmd ? prepare_spmd(rt, fig.program, cost, {})
+                         : prepare_implicit(rt, fig.program, cost, {});
+  return run.run().makespan_ns;
+}
+
+TEST(RunAheadWindow, BoundedPipelineIsSlowerThanUnbounded) {
+  CostModel unlimited;
+  CostModel tight;
+  tight.run_ahead_window = 2;
+  // In implicit mode at several nodes the master normally hides its
+  // issue latency by running ahead; a 2-op window forces it to wait.
+  const sim::Time t_free = run_fig2(unlimited, /*spmd=*/false, 8);
+  const sim::Time t_tight = run_fig2(tight, /*spmd=*/false, 8);
+  EXPECT_GT(t_tight, t_free);
+}
+
+TEST(RunAheadWindow, LargeWindowMatchesUnlimited) {
+  CostModel unlimited;
+  CostModel wide;
+  wide.run_ahead_window = 1u << 20;
+  EXPECT_EQ(run_fig2(unlimited, false), run_fig2(wide, false));
+}
+
+TEST(RunAheadWindow, CorrectnessPreservedUnderTinyWindow) {
+  CostModel tight;
+  tight.run_ahead_window = 1;
+  rt::Runtime rt(runtime_config(4, 4, tight, /*real_data=*/true));
+  testing::Fig2 fig(rt.forest(), 48, 8, 3);
+  SequentialResult oracle = run_sequential(fig.program);
+  PreparedRun run = prepare_spmd(rt, fig.program, tight, {});
+  run.run();
+  for (uint64_t p = 0; p < 48; ++p) {
+    ASSERT_EQ(run.engine->read_root_f64(fig.a, fig.fa, p),
+              oracle.read_f64(fig.a, fig.fa, p));
+  }
+}
+
+TEST(Noise, HeavyTailSlowsExecutionDeterministically) {
+  CostModel noisy;
+  noisy.task_slow_prob = 0.1;
+  noisy.task_slow_frac = 1.0;
+  const sim::Time clean = run_fig2(CostModel{}, true);
+  const sim::Time t1 = run_fig2(noisy, true);
+  const sim::Time t2 = run_fig2(noisy, true);
+  EXPECT_GT(t1, clean);
+  EXPECT_EQ(t1, t2);  // deterministic replay
+}
+
+TEST(Trace, WritesChromeTraceJson) {
+  CostModel cost;
+  rt::Runtime rt(runtime_config(2, 4, cost, /*real_data=*/true));
+  testing::Fig2 fig(rt.forest(), 24, 4, 2);
+  PreparedRun run = prepare_spmd(rt, fig.program, cost, {});
+  run.engine->enable_trace();
+  run.run();
+  const std::string path = ::testing::TempDir() + "/cr_trace.json";
+  run.engine->write_trace(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("TF["), std::string::npos);
+  EXPECT_NE(text.find("TG["), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);  // node 1 used
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledByDefaultProducesEmptyTimeline) {
+  CostModel cost;
+  rt::Runtime rt(runtime_config(1, 2, cost, /*real_data=*/true));
+  testing::Fig2 fig(rt.forest(), 12, 2, 1);
+  PreparedRun run = prepare_spmd(rt, fig.program, cost, {});
+  run.run();
+  const std::string path = ::testing::TempDir() + "/cr_trace_empty.json";
+  run.engine->write_trace(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "[\n\n]\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cr::exec

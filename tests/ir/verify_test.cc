@@ -1,0 +1,133 @@
+// Additional verifier coverage: compiler-statement validity rules.
+#include "ir/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "passes/pipeline.h"
+#include "rt/partition.h"
+#include "testing/fig2.h"
+
+namespace cr::ir {
+namespace {
+
+struct Fixture {
+  rt::RegionForest forest;
+  testing::Fig2 fig;
+  Fixture() : fig(forest, 24, 4, 2) {}
+};
+
+bool has_error(const Program& p, const std::string& needle) {
+  for (const VerifyError& e : verify(p)) {
+    if (e.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Verify, CopyNeedsExactlyOneSourceForm) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt copy;
+  copy.kind = StmtKind::kCopy;
+  copy.copy_src = f.fig.pb;
+  copy.src_root = f.fig.b;  // both forms set: invalid
+  copy.copy_dst = f.fig.qb;
+  copy.copy_fields = {f.fig.fb};
+  p.body.push_back(copy);
+  EXPECT_TRUE(has_error(p, "source form"));
+}
+
+TEST(Verify, CopyWithoutFieldsRejected) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt copy;
+  copy.kind = StmtKind::kCopy;
+  copy.copy_src = f.fig.pb;
+  copy.copy_dst = f.fig.qb;
+  p.body.push_back(copy);
+  EXPECT_TRUE(has_error(p, "no fields"));
+}
+
+TEST(Verify, IntersectionIdMustBeAllocated) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt copy;
+  copy.kind = StmtKind::kCopy;
+  copy.copy_src = f.fig.pb;
+  copy.copy_dst = f.fig.qb;
+  copy.copy_fields = {f.fig.fb};
+  copy.isect = 3;  // num_intersects == 0
+  p.body.push_back(copy);
+  EXPECT_TRUE(has_error(p, "intersection"));
+}
+
+TEST(Verify, BarrierOutsideShardRejected) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt barrier;
+  barrier.kind = StmtKind::kBarrier;
+  p.body.push_back(barrier);
+  EXPECT_TRUE(has_error(p, "barrier outside"));
+}
+
+TEST(Verify, NestedShardBodiesRejected) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt inner;
+  inner.kind = StmtKind::kShardBody;
+  inner.num_shards = 2;
+  Stmt outer;
+  outer.kind = StmtKind::kShardBody;
+  outer.num_shards = 2;
+  outer.body.push_back(inner);
+  p.body.push_back(outer);
+  EXPECT_TRUE(has_error(p, "nested shard"));
+}
+
+TEST(Verify, SingleTaskInsideShardRejected) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt single;
+  single.kind = StmtKind::kSingleTask;
+  single.task = f.fig.t_init;
+  single.regions = {f.fig.a};
+  Stmt shard;
+  shard.kind = StmtKind::kShardBody;
+  shard.num_shards = 2;
+  shard.body.push_back(single);
+  p.body.push_back(shard);
+  EXPECT_TRUE(has_error(p, "single task inside shard"));
+}
+
+TEST(Verify, ZeroTripLoopRejected) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt loop;
+  loop.kind = StmtKind::kForTime;
+  loop.trip_count = 0;
+  p.body.push_back(loop);
+  EXPECT_TRUE(has_error(p, "zero trip"));
+}
+
+TEST(Verify, ScalarOpNeedsFunction) {
+  Fixture f;
+  Program p = f.fig.program;
+  Stmt op;
+  op.kind = StmtKind::kScalarOp;
+  p.body.push_back(op);
+  EXPECT_TRUE(has_error(p, "missing function"));
+}
+
+TEST(Verify, TransformedProgramsStayValid) {
+  // The full pipeline's output must satisfy every final-form rule.
+  Fixture f;
+  Program p = f.fig.program;
+  cr::passes::PipelineOptions opt;
+  opt.num_shards = 2;
+  cr::passes::PipelineReport report = cr::passes::control_replicate(p, opt);
+  ASSERT_TRUE(report.applied);
+  EXPECT_TRUE(verify(p).empty());
+}
+
+}  // namespace
+}  // namespace cr::ir

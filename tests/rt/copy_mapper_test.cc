@@ -1,0 +1,165 @@
+// Tests for the copy engine and the default mapper.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rt/copy.h"
+#include "rt/mapper.h"
+#include "rt/partition.h"
+#include "rt/runtime.h"
+
+namespace cr::rt {
+namespace {
+
+struct Fixture {
+  Runtime rt;
+  std::shared_ptr<FieldSpace> fs = std::make_shared<FieldSpace>();
+  FieldId v;
+  RegionId r;
+  Fixture()
+      : rt(RuntimeConfig{.machine = {.nodes = 4, .cores_per_node = 2},
+                         .network = {.latency_ns = 100,
+                                     .bandwidth_gbps = 1.0,
+                                     .mem_bandwidth_gbps = 10.0,
+                                     .am_handler_ns = 0},
+                         .mapper = {.reserved_cores = 1},
+                         .real_data = true}) {
+    v = fs->add_field("v");
+    r = rt.forest().create_region(IndexSpace::dense(100), fs);
+  }
+};
+
+TEST(CopyEngine, MovesRealDataOnDelivery) {
+  Fixture f;
+  auto* mgr = f.rt.instances();
+  InstanceId src = mgr->create(f.r, 0);
+  InstanceId dst = mgr->create(f.r, 1);
+  mgr->get(src).write_f64(f.v, 7, 3.5);
+
+  CopyRequest req;
+  req.src_region = req.dst_region = f.r;
+  req.src_node = 0;
+  req.dst_node = 1;
+  req.src_inst = src;
+  req.dst_inst = dst;
+  req.points = support::IntervalSet::range(0, 10);
+  req.fields = {f.v};
+  sim::Event done = f.rt.copies().issue(req, sim::Event());
+  EXPECT_EQ(mgr->get(dst).read_f64(f.v, 7), 0.0);  // not yet delivered
+  f.rt.sim().run();
+  EXPECT_TRUE(done.has_triggered());
+  EXPECT_EQ(mgr->get(dst).read_f64(f.v, 7), 3.5);
+  // 10 elements * 8 bytes at 1 B/ns + 100 ns latency.
+  EXPECT_EQ(done.trigger_time(), 180u);
+  EXPECT_EQ(f.rt.copies().bytes_moved(), 80u);
+}
+
+TEST(CopyEngine, EmptyCopyIsSkipped) {
+  Fixture f;
+  CopyRequest req;
+  req.src_region = req.dst_region = f.r;
+  req.points = support::IntervalSet();
+  req.fields = {f.v};
+  sim::UserEvent pre(f.rt.sim());
+  sim::Event done = f.rt.copies().issue(req, pre.event());
+  EXPECT_EQ(done, pre.event());  // pass-through, no traffic
+  EXPECT_EQ(f.rt.copies().copies_skipped_empty(), 1u);
+  EXPECT_EQ(f.rt.network().messages_sent(), 0u);
+}
+
+TEST(CopyEngine, ReductionCopyFolds) {
+  Fixture f;
+  auto* mgr = f.rt.instances();
+  InstanceId src = mgr->create(f.r, 0);
+  InstanceId dst = mgr->create(f.r, 0);
+  mgr->get(src).write_f64(f.v, 0, 4.0);
+  mgr->get(dst).write_f64(f.v, 0, 10.0);
+  CopyRequest req;
+  req.src_region = req.dst_region = f.r;
+  req.src_inst = src;
+  req.dst_inst = dst;
+  req.points = support::IntervalSet::range(0, 1);
+  req.fields = {f.v};
+  req.reduction = true;
+  req.redop = ReduceOp::kSum;
+  f.rt.copies().issue(req, sim::Event());
+  f.rt.sim().run();
+  EXPECT_EQ(mgr->get(dst).read_f64(f.v, 0), 14.0);
+}
+
+TEST(CopyEngine, VirtualBytesScaleCost) {
+  Fixture f;
+  auto wide = std::make_shared<FieldSpace>();
+  FieldId fw = wide->add_field("w", FieldType::kF64, /*virtual_bytes=*/40);
+  RegionId r2 = f.rt.forest().create_region(IndexSpace::dense(10), wide);
+  CopyRequest req;
+  req.src_region = req.dst_region = r2;
+  req.src_node = 0;
+  req.dst_node = 1;
+  req.src_inst = f.rt.instances()->create(r2, 0);
+  req.dst_inst = f.rt.instances()->create(r2, 1);
+  req.points = support::IntervalSet::range(0, 10);
+  req.fields = {fw};
+  f.rt.copies().issue(req, sim::Event());
+  f.rt.sim().run();
+  EXPECT_EQ(f.rt.copies().bytes_moved(), 400u);
+}
+
+TEST(Mapper, BlockDistributionOfColors) {
+  Fixture f;  // 4 nodes
+  Mapper& m = f.rt.mapper();
+  // 8 colors over 4 nodes: 2 each.
+  EXPECT_EQ(m.node_of_color(0, 8), 0u);
+  EXPECT_EQ(m.node_of_color(1, 8), 0u);
+  EXPECT_EQ(m.node_of_color(2, 8), 1u);
+  EXPECT_EQ(m.node_of_color(7, 8), 3u);
+}
+
+TEST(Mapper, BlockDistributionWithRemainder) {
+  Fixture f;
+  Mapper& m = f.rt.mapper();
+  // 6 colors over 4 nodes: sizes 2,2,1,1.
+  EXPECT_EQ(m.node_of_color(0, 6), 0u);
+  EXPECT_EQ(m.node_of_color(1, 6), 0u);
+  EXPECT_EQ(m.node_of_color(2, 6), 1u);
+  EXPECT_EQ(m.node_of_color(3, 6), 1u);
+  EXPECT_EQ(m.node_of_color(4, 6), 2u);
+  EXPECT_EQ(m.node_of_color(5, 6), 3u);
+}
+
+TEST(Mapper, ShardPerNode) {
+  Fixture f;
+  Mapper& m = f.rt.mapper();
+  for (uint32_t s = 0; s < 4; ++s) EXPECT_EQ(m.shard_node(s, 4), s);
+}
+
+TEST(Mapper, ComputeProcsAvoidReservedCore) {
+  Fixture f;  // 2 cores/node, 1 reserved
+  Mapper& m = f.rt.mapper();
+  EXPECT_EQ(m.compute_cores_per_node(), 1u);
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    EXPECT_EQ(m.compute_proc(2, seq).core, 1u);
+    EXPECT_EQ(m.compute_proc(2, seq).node, 2u);
+  }
+  EXPECT_EQ(m.control_proc(3).core, 0u);
+}
+
+TEST(Mapper, NoReservationUsesAllCores) {
+  sim::Simulator sim;
+  sim::Machine machine(sim, {.nodes = 1, .cores_per_node = 4});
+  Mapper m(machine, MapperConfig{.reserved_cores = 0});
+  EXPECT_EQ(m.compute_cores_per_node(), 4u);
+  EXPECT_EQ(m.compute_proc(0, 0).core, 0u);
+  EXPECT_EQ(m.compute_proc(0, 5).core, 1u);
+}
+
+TEST(Mapper, FewerColorsThanNodes) {
+  Fixture f;
+  Mapper& m = f.rt.mapper();
+  // 2 colors over 4 nodes: one per node on the first two nodes.
+  EXPECT_EQ(m.node_of_color(0, 2), 0u);
+  EXPECT_EQ(m.node_of_color(1, 2), 1u);
+}
+
+}  // namespace
+}  // namespace cr::rt

@@ -1,0 +1,175 @@
+#include "rt/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rt/partition.h"
+#include "sim/simulator.h"
+
+namespace cr::rt {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  RegionForest forest;
+  std::shared_ptr<FieldSpace> fs = std::make_shared<FieldSpace>();
+  FieldId v;
+  RegionId r;
+  PartitionId p;
+  Fixture() {
+    v = fs->add_field("v");
+    r = forest.create_region(IndexSpace::dense(100), fs);
+    p = partition_equal(forest, r, 4);
+  }
+  Requirement req(RegionId region, Privilege priv,
+                  ReduceOp op = ReduceOp::kSum) {
+    return Requirement{region, priv, op, {v}};
+  }
+};
+
+TEST(Privileges, ConflictMatrix) {
+  using P = Privilege;
+  auto c = [](P a, P b) {
+    return privileges_conflict(a, ReduceOp::kSum, b, ReduceOp::kSum);
+  };
+  EXPECT_FALSE(c(P::kReadOnly, P::kReadOnly));
+  EXPECT_TRUE(c(P::kReadOnly, P::kReadWrite));
+  EXPECT_TRUE(c(P::kReadWrite, P::kReadWrite));
+  EXPECT_TRUE(c(P::kWriteDiscard, P::kReadOnly));
+  EXPECT_FALSE(c(P::kReduce, P::kReduce));  // same op commutes
+  EXPECT_TRUE(privileges_conflict(P::kReduce, ReduceOp::kSum, P::kReduce,
+                                  ReduceOp::kMin));
+  EXPECT_TRUE(c(P::kReduce, P::kReadOnly));
+}
+
+TEST(Privileges, SubsumptionIsStrict) {
+  using P = Privilege;
+  auto s = [](P sup, P sub) {
+    return privilege_subsumes(sup, ReduceOp::kSum, sub, ReduceOp::kSum);
+  };
+  EXPECT_TRUE(s(P::kReadWrite, P::kReadOnly));
+  EXPECT_TRUE(s(P::kReadWrite, P::kReduce));
+  EXPECT_TRUE(s(P::kReadWrite, P::kWriteDiscard));
+  EXPECT_FALSE(s(P::kReadOnly, P::kReadWrite));
+  EXPECT_FALSE(s(P::kReduce, P::kReadOnly));
+  EXPECT_TRUE(s(P::kReduce, P::kReduce));
+  EXPECT_FALSE(privilege_subsumes(P::kReduce, ReduceOp::kSum, P::kReduce,
+                                  ReduceOp::kMin));
+}
+
+TEST(Dependence, ReadersDontConflict) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  auto d1 = deps.record(1, f.req(f.r, Privilege::kReadOnly), e1.event());
+  auto d2 = deps.record(2, f.req(f.r, Privilege::kReadOnly), e2.event());
+  EXPECT_TRUE(d1.empty());
+  EXPECT_TRUE(d2.empty());
+}
+
+TEST(Dependence, WriteAfterReadOrders) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  deps.record(1, f.req(f.r, Privilege::kReadOnly), e1.event());
+  auto d = deps.record(2, f.req(f.r, Privilege::kReadWrite), e2.event());
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], e1.event());
+}
+
+TEST(Dependence, DisjointSubregionsRunInParallel) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  deps.record(1, f.req(f.forest.subregion(f.p, 0), Privilege::kReadWrite),
+              e1.event());
+  auto d = deps.record(
+      2, f.req(f.forest.subregion(f.p, 1), Privilege::kReadWrite),
+      e2.event());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dependence, OverlappingWritesSerialize) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  deps.record(1, f.req(f.forest.subregion(f.p, 0), Privilege::kReadWrite),
+              e1.event());
+  auto d = deps.record(2, f.req(f.r, Privilege::kReadWrite), e2.event());
+  ASSERT_EQ(d.size(), 1u);  // parent overlaps the subregion
+}
+
+TEST(Dependence, SameOpReductionsCommute) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim), e3(f.sim);
+  deps.record(1, f.req(f.r, Privilege::kReduce, ReduceOp::kSum), e1.event());
+  auto d2 =
+      deps.record(2, f.req(f.r, Privilege::kReduce, ReduceOp::kSum),
+                  e2.event());
+  EXPECT_TRUE(d2.empty());
+  // A different operator must serialize against both.
+  auto d3 =
+      deps.record(3, f.req(f.r, Privilege::kReduce, ReduceOp::kMin),
+                  e3.event());
+  EXPECT_EQ(d3.size(), 2u);
+}
+
+TEST(Dependence, CoveringWriterPrunesEpoch) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim), e3(f.sim), e4(f.sim);
+  // Four readers of subregions, then a full write, then another write:
+  // the second write should only depend on the first (pruned epoch).
+  deps.record(1, f.req(f.forest.subregion(f.p, 0), Privilege::kReadOnly),
+              e1.event());
+  deps.record(2, f.req(f.forest.subregion(f.p, 1), Privilege::kReadOnly),
+              e2.event());
+  auto d3 = deps.record(3, f.req(f.r, Privilege::kReadWrite), e3.event());
+  EXPECT_EQ(d3.size(), 2u);
+  auto d4 = deps.record(4, f.req(f.r, Privilege::kReadWrite), e4.event());
+  ASSERT_EQ(d4.size(), 1u);
+  EXPECT_EQ(d4[0], e3.event());
+}
+
+TEST(Dependence, ReaderDoesNotPruneWriter) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim), e3(f.sim);
+  deps.record(1, f.req(f.r, Privilege::kReadWrite), e1.event());
+  deps.record(2, f.req(f.r, Privilege::kReadOnly), e2.event());
+  // A second reader must still see the writer (readers don't retire it).
+  auto d = deps.record(3, f.req(f.r, Privilege::kReadOnly), e3.event());
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], e1.event());
+}
+
+TEST(Dependence, FieldsAreIndependent) {
+  Fixture f;
+  const FieldId w = f.fs->add_field("w");
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  deps.record(1, Requirement{f.r, Privilege::kReadWrite, ReduceOp::kSum,
+                             {f.v}},
+              e1.event());
+  auto d = deps.record(
+      2, Requirement{f.r, Privilege::kReadWrite, ReduceOp::kSum, {w}},
+      e2.event());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dependence, StatsCountPairs) {
+  Fixture f;
+  DependenceTracker deps(f.forest);
+  sim::UserEvent e1(f.sim), e2(f.sim);
+  deps.record(1, f.req(f.r, Privilege::kReadWrite), e1.event());
+  deps.record(2, f.req(f.r, Privilege::kReadWrite), e2.event());
+  EXPECT_EQ(deps.pairs_tested(), 1u);
+  EXPECT_EQ(deps.dependences_found(), 1u);
+  deps.reset();
+  EXPECT_EQ(deps.pairs_tested(), 0u);
+}
+
+}  // namespace
+}  // namespace cr::rt

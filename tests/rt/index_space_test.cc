@@ -1,0 +1,82 @@
+#include "rt/index_space.h"
+
+#include <gtest/gtest.h>
+
+namespace cr::rt {
+namespace {
+
+TEST(IndexSpace, DenseBasics) {
+  auto is = IndexSpace::dense(10);
+  EXPECT_EQ(is.size(), 10u);
+  EXPECT_TRUE(is.contains(0) && is.contains(9));
+  EXPECT_FALSE(is.contains(10));
+  EXPECT_TRUE(is.structured());
+}
+
+TEST(IndexSpace, GridVolume) {
+  auto is = IndexSpace::grid(GridExtents::d2(4, 6));
+  EXPECT_EQ(is.size(), 24u);
+  EXPECT_EQ(is.extents().dim, 2);
+}
+
+TEST(IndexSpace, UnstructuredFromIntervals) {
+  auto is = IndexSpace::unstructured(
+      support::IntervalSet::from_points({3, 5, 6, 7, 100}));
+  EXPECT_EQ(is.size(), 5u);
+  EXPECT_FALSE(is.structured());
+}
+
+TEST(IndexSpace, SubspaceInheritsStructure) {
+  auto is = IndexSpace::grid(GridExtents::d2(4, 4));
+  auto sub = is.subspace(support::IntervalSet::range(4, 8));
+  EXPECT_TRUE(sub.structured());
+  EXPECT_EQ(sub.size(), 4u);
+}
+
+TEST(IndexSpace, RankIsInverseOfPointAt) {
+  auto is = IndexSpace::unstructured(
+      support::IntervalSet::from_points({2, 3, 10, 11, 12, 50}));
+  for (uint64_t r = 0; r < is.size(); ++r) {
+    EXPECT_EQ(is.rank(is.point_at(r)), r);
+  }
+}
+
+TEST(IndexSpace, RankDense) {
+  auto is = IndexSpace::dense(100);
+  EXPECT_EQ(is.rank(0), 0u);
+  EXPECT_EQ(is.rank(57), 57u);
+}
+
+TEST(IndexSpace, BoundingRectOfGridTile) {
+  auto grid = IndexSpace::grid(GridExtents::d2(8, 8));
+  auto tile = grid.subspace(grid.extents().rect_ids(Rect::d2(2, 3, 5, 7)));
+  EXPECT_EQ(tile.bounding_rect(), Rect::d2(2, 3, 5, 7));
+}
+
+TEST(IndexSpace, BoundingRectConservativeForWrappedInterval) {
+  auto grid = IndexSpace::grid(GridExtents::d2(4, 4));
+  // ids 2..10 wrap across rows; the bbox must contain all of them.
+  auto sub = grid.subspace(support::IntervalSet::range(2, 10));
+  Rect bb = sub.bounding_rect();
+  sub.points().for_each_point([&](uint64_t id) {
+    int64_t x, y, z;
+    grid.extents().delinearize(id, x, y, z);
+    EXPECT_TRUE(bb.contains(Rect::d2(x, y, x + 1, y + 1)))
+        << "point (" << x << "," << y << ") escapes bbox";
+  });
+}
+
+TEST(IndexSpace, BoundingRectUnstructured) {
+  auto is = IndexSpace::unstructured(
+      support::IntervalSet::from_points({5, 9, 17}));
+  EXPECT_EQ(is.bounding_rect(), Rect::d1(5, 18));
+}
+
+TEST(IndexSpaceDeath, RankOfMissingPointAborts) {
+  auto is = IndexSpace::unstructured(
+      support::IntervalSet::from_points({1, 5}));
+  EXPECT_DEATH((void)is.rank(3), "point not in index space");
+}
+
+}  // namespace
+}  // namespace cr::rt

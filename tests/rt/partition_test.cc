@@ -1,0 +1,254 @@
+#include "rt/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/rng.h"
+
+namespace cr::rt {
+namespace {
+
+std::shared_ptr<FieldSpace> fs() {
+  auto f = std::make_shared<FieldSpace>();
+  f->add_field("v");
+  return f;
+}
+
+class PartitionLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionLaws, EqualPartitionIsDisjointAndComplete) {
+  const uint64_t colors = GetParam();
+  RegionForest forest;
+  RegionId r = forest.create_region(IndexSpace::dense(103), fs());
+  PartitionId p = partition_equal(forest, r, colors);
+  const PartitionNode& pn = forest.partition(p);
+  EXPECT_TRUE(pn.disjoint);
+  EXPECT_TRUE(pn.complete);
+  EXPECT_EQ(pn.subregions.size(), colors);
+
+  // Union covers the parent; pieces are balanced within 1.
+  support::IntervalSet all;
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (RegionId sub : pn.subregions) {
+    const auto& pts = forest.region(sub).ispace.points();
+    EXPECT_TRUE(all.disjoint(pts));
+    all = all.set_union(pts);
+    min_size = std::min(min_size, pts.size());
+    max_size = std::max(max_size, pts.size());
+  }
+  EXPECT_EQ(all, forest.region(r).ispace.points());
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Colors, PartitionLaws,
+                         ::testing::Values(1, 2, 3, 7, 16, 103, 200));
+
+TEST(Partition, EqualOnUnstructuredSpace) {
+  RegionForest forest;
+  support::Rng rng(3);
+  std::vector<uint64_t> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back(rng.next_below(10000));
+  auto is = IndexSpace::unstructured(support::IntervalSet::from_points(pts));
+  const uint64_t n = is.size();
+  RegionId r = forest.create_region(std::move(is), fs());
+  PartitionId p = partition_equal(forest, r, 7);
+  uint64_t total = 0;
+  for (RegionId sub : forest.partition(p).subregions) {
+    total += forest.region(sub).ispace.size();
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(Partition, GridTilesAreDisjointCompleteAndShaped) {
+  RegionForest forest;
+  RegionId r =
+      forest.create_region(IndexSpace::grid(GridExtents::d2(10, 12)), fs());
+  PartitionId p = partition_grid(forest, r, {2, 3, 1});
+  const PartitionNode& pn = forest.partition(p);
+  EXPECT_TRUE(pn.disjoint && pn.complete);
+  ASSERT_EQ(pn.subregions.size(), 6u);
+  support::IntervalSet all;
+  for (RegionId sub : pn.subregions) {
+    all = all.set_union(forest.region(sub).ispace.points());
+    EXPECT_EQ(forest.region(sub).ispace.size(), 20u);  // 5x4 tiles
+  }
+  EXPECT_EQ(all.size(), 120u);
+}
+
+TEST(Partition, ByColorRespectsColoring) {
+  RegionForest forest;
+  RegionId r = forest.create_region(IndexSpace::dense(20), fs());
+  PartitionId p = partition_by_color(forest, r, 2,
+                                     [](uint64_t id) { return id % 2; });
+  const PartitionNode& pn = forest.partition(p);
+  EXPECT_TRUE(pn.disjoint && pn.complete);
+  EXPECT_EQ(forest.region(pn.subregions[0]).ispace.size(), 10u);
+  EXPECT_TRUE(forest.region(pn.subregions[1]).ispace.contains(7));
+}
+
+TEST(Partition, ByColorWithHolesIsIncomplete) {
+  RegionForest forest;
+  RegionId r = forest.create_region(IndexSpace::dense(10), fs());
+  PartitionId p = partition_by_color(forest, r, 1, [](uint64_t id) {
+    return id < 5 ? 0 : kNoColor;
+  });
+  EXPECT_FALSE(forest.partition(p).complete);
+  EXPECT_EQ(forest.region(forest.partition(p).subregions[0]).ispace.size(),
+            5u);
+}
+
+TEST(Partition, ImageMatchesDefinition) {
+  // Paper §2.1: h(b) ∈ QB[i] iff b ∈ PB[i].
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(12), fs(), "A");
+  RegionId b = forest.create_region(IndexSpace::dense(12), fs(), "B");
+  PartitionId pa = partition_equal(forest, a, 3);
+  auto h = [](uint64_t x) { return (x * 5 + 3) % 12; };
+  PartitionId qb = partition_image(
+      forest, b, pa, [&](uint64_t x, std::vector<uint64_t>& out) {
+        out.push_back(h(x));
+      });
+  EXPECT_FALSE(forest.partition(qb).disjoint);  // assumed aliased
+  for (uint64_t i = 0; i < 3; ++i) {
+    const auto& src = forest.region(forest.subregion(pa, i)).ispace;
+    const auto& img = forest.region(forest.subregion(qb, i)).ispace;
+    src.points().for_each_point(
+        [&](uint64_t x) { EXPECT_TRUE(img.contains(h(x))); });
+    EXPECT_EQ(img.size(), src.size());  // h is injective here
+  }
+}
+
+TEST(Partition, ImageClipsToWindowRegion) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(10), fs());
+  RegionId b = forest.create_region(IndexSpace::dense(5), fs());
+  PartitionId pa = partition_equal(forest, a, 2);
+  PartitionId qb = partition_image(
+      forest, b, pa, [](uint64_t x, std::vector<uint64_t>& out) {
+        out.push_back(x);  // identity; half the targets fall outside B
+      });
+  EXPECT_EQ(forest.region(forest.subregion(qb, 0)).ispace.size(), 5u);
+  EXPECT_EQ(forest.region(forest.subregion(qb, 1)).ispace.size(), 0u);
+}
+
+TEST(Partition, ComposeRemapsColors) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(12), fs());
+  PartitionId pa = partition_equal(forest, a, 4);
+  // q[i] = pa[(i+1) mod 4]
+  PartitionId q = partition_compose(forest, pa, 4, [](uint64_t i) {
+    return (i + 1) % 4;
+  });
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(forest.region(forest.subregion(q, i)).ispace.points(),
+              forest.region(forest.subregion(pa, (i + 1) % 4))
+                  .ispace.points());
+  }
+  EXPECT_FALSE(forest.partition(q).disjoint);
+}
+
+TEST(Partition, IntersectRestrictsToWindow) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(20), fs());
+  PartitionId top = partition_by_color(forest, a, 2, [](uint64_t id) {
+    return id < 12 ? 0 : 1;  // "private" vs "ghost" split
+  });
+  RegionId priv = forest.subregion(top, 0);
+  PartitionId pa = partition_equal(forest, a, 4);  // 5 elements each
+  PartitionId pp = partition_intersect(forest, priv, pa);
+  const PartitionNode& pn = forest.partition(pp);
+  EXPECT_TRUE(pn.disjoint);  // inherits from pa
+  EXPECT_EQ(pn.parent, priv);
+  EXPECT_EQ(forest.region(pn.subregions[0]).ispace.size(), 5u);
+  EXPECT_EQ(forest.region(pn.subregions[2]).ispace.size(), 2u);  // 10..12
+  EXPECT_EQ(forest.region(pn.subregions[3]).ispace.size(), 0u);
+}
+
+TEST(PartitionDeath, DisjointClaimVerifiedInDebug) {
+#ifndef NDEBUG
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(10), fs());
+  std::vector<IndexSpace> overlapping;
+  overlapping.push_back(forest.region(a).ispace.subspace(
+      support::IntervalSet::range(0, 6)));
+  overlapping.push_back(forest.region(a).ispace.subspace(
+      support::IntervalSet::range(4, 10)));
+  EXPECT_DEATH(forest.create_partition(a, std::move(overlapping),
+                                       /*disjoint=*/true, false),
+               "claimed disjoint");
+#else
+  GTEST_SKIP() << "debug-only check";
+#endif
+}
+
+
+TEST(Partition, PreimageMatchesDefinition) {
+  // preimage: x lands in subregion i iff some target of x is in src[i].
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(12), fs(), "A");
+  RegionId b = forest.create_region(IndexSpace::dense(12), fs(), "B");
+  PartitionId pb = partition_equal(forest, b, 3);
+  auto h = [](uint64_t x) { return (x * 7 + 2) % 12; };
+  PartitionId pre = partition_preimage(
+      forest, a, pb, [&](uint64_t x, std::vector<uint64_t>& out) {
+        out.push_back(h(x));
+      });
+  for (uint64_t x = 0; x < 12; ++x) {
+    for (uint64_t i = 0; i < 3; ++i) {
+      const bool in_sub =
+          forest.region(forest.subregion(pre, i)).ispace.contains(x);
+      const bool target_in =
+          forest.region(forest.subregion(pb, i)).ispace.contains(h(x));
+      EXPECT_EQ(in_sub, target_in) << "x=" << x << " i=" << i;
+    }
+  }
+}
+
+TEST(Partition, PreimageMultiTargetLandsInSeveralColors) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(8), fs(), "A");
+  RegionId b = forest.create_region(IndexSpace::dense(8), fs(), "B");
+  PartitionId pb = partition_equal(forest, b, 2);
+  PartitionId pre = partition_preimage(
+      forest, a, pb, [](uint64_t, std::vector<uint64_t>& out) {
+        out.push_back(0);  // first half
+        out.push_back(7);  // second half
+      });
+  // Every element points into both halves.
+  EXPECT_EQ(forest.region(forest.subregion(pre, 0)).ispace.size(), 8u);
+  EXPECT_EQ(forest.region(forest.subregion(pre, 1)).ispace.size(), 8u);
+  EXPECT_FALSE(forest.partition(pre).disjoint);
+}
+
+TEST(Partition, PointwiseUnionAndDifference) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(20), fs(), "A");
+  PartitionId p = partition_equal(forest, a, 2);   // [0,10) [10,20)
+  PartitionId q = partition_image(
+      forest, a, p, [](uint64_t x, std::vector<uint64_t>& out) {
+        out.push_back((x + 5) % 20);
+      });
+  PartitionId u = partition_union(forest, p, q);
+  PartitionId d = partition_difference(forest, p, q);
+  // u[0] = [0,10) U ([5,15)) = [0,15)
+  EXPECT_EQ(forest.region(forest.subregion(u, 0)).ispace.points(),
+            support::IntervalSet::range(0, 15));
+  // d[0] = [0,10) \ [5,15) = [0,5)
+  EXPECT_EQ(forest.region(forest.subregion(d, 0)).ispace.points(),
+            support::IntervalSet::range(0, 5));
+  EXPECT_TRUE(forest.partition(d).disjoint);   // inherits from p
+  EXPECT_FALSE(forest.partition(u).disjoint);  // conservative
+}
+
+TEST(PartitionDeath, PointwiseOpsRequireSameParent) {
+  RegionForest forest;
+  RegionId a = forest.create_region(IndexSpace::dense(10), fs());
+  RegionId b = forest.create_region(IndexSpace::dense(10), fs());
+  PartitionId pa = partition_equal(forest, a, 2);
+  PartitionId pb = partition_equal(forest, b, 2);
+  EXPECT_DEATH((void)partition_union(forest, pa, pb), "same region");
+}
+
+}  // namespace
+}  // namespace cr::rt

@@ -1,0 +1,86 @@
+#include "sim/event.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace cr::sim {
+namespace {
+
+TEST(Event, DefaultEventIsTriggered) {
+  Event e;
+  EXPECT_TRUE(e.has_triggered());
+  EXPECT_EQ(e.trigger_time(), 0u);
+  bool ran = false;
+  e.subscribe([&](Time t) {
+    ran = true;
+    EXPECT_EQ(t, 0u);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(UserEvent, TriggerRunsWaitersAtNow) {
+  Simulator sim;
+  UserEvent ue(sim);
+  Time seen = 0;
+  bool ran = false;
+  ue.event().subscribe([&](Time t) {
+    ran = true;
+    seen = t;
+  });
+  EXPECT_FALSE(ran);
+  sim.schedule_at(42, [&] { ue.trigger(); });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(seen, 42u);
+  EXPECT_TRUE(ue.event().has_triggered());
+}
+
+TEST(UserEvent, SubscribeAfterTriggerRunsImmediately) {
+  Simulator sim;
+  UserEvent ue(sim);
+  ue.trigger();
+  bool ran = false;
+  ue.event().subscribe([&](Time) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Event, MergeWaitsForAll) {
+  Simulator sim;
+  UserEvent a(sim), b(sim), c(sim);
+  Event m = Event::merge(sim, {a.event(), b.event(), c.event()});
+  Time seen = 0;
+  m.subscribe([&](Time t) { seen = t; });
+
+  sim.schedule_at(10, [&] { b.trigger(); });
+  sim.schedule_at(30, [&] { a.trigger(); });
+  sim.schedule_at(20, [&] { c.trigger(); });
+  sim.run();
+  EXPECT_TRUE(m.has_triggered());
+  EXPECT_EQ(seen, 30u);  // max of trigger times
+}
+
+TEST(Event, MergeOfTriggeredIsTriggered) {
+  Simulator sim;
+  Event m = Event::merge(sim, {Event(), Event()});
+  EXPECT_TRUE(m.has_triggered());
+}
+
+TEST(Event, MergeOfEmptyListIsTriggered) {
+  Simulator sim;
+  EXPECT_TRUE(Event::merge(sim, {}).has_triggered());
+}
+
+TEST(Event, MergeMixedTriggeredAndPending) {
+  Simulator sim;
+  UserEvent a(sim);
+  Event m = Event::merge(sim, {Event(), a.event()});
+  EXPECT_FALSE(m.has_triggered());
+  sim.schedule_at(5, [&] { a.trigger(); });
+  sim.run();
+  EXPECT_TRUE(m.has_triggered());
+  EXPECT_EQ(m.trigger_time(), 5u);
+}
+
+}  // namespace
+}  // namespace cr::sim

@@ -1,0 +1,97 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace cr::sim {
+namespace {
+
+NetworkConfig test_config() {
+  NetworkConfig c;
+  c.latency_ns = 1000;
+  c.bandwidth_gbps = 1.0;      // 1 B/ns: easy arithmetic
+  c.mem_bandwidth_gbps = 10.0;
+  c.am_handler_ns = 0;
+  return c;
+}
+
+TEST(Network, DeliveryTimeIsLatencyPlusSerialization) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  Event d = net.send(0, 1, 500, Event());
+  sim.run();
+  EXPECT_EQ(d.trigger_time(), 1500u);  // 500 B / 1 B/ns + 1000 ns
+}
+
+TEST(Network, NicSerializesConcurrentSends) {
+  Simulator sim;
+  Network net(sim, 3, test_config());
+  Event d1 = net.send(0, 1, 1000, Event());
+  Event d2 = net.send(0, 2, 1000, Event());
+  sim.run();
+  EXPECT_EQ(d1.trigger_time(), 2000u);  // injected [0,1000), +latency
+  EXPECT_EQ(d2.trigger_time(), 3000u);  // injected [1000,2000), +latency
+}
+
+TEST(Network, DifferentSourcesDoNotSerialize) {
+  Simulator sim;
+  Network net(sim, 3, test_config());
+  Event d1 = net.send(0, 2, 1000, Event());
+  Event d2 = net.send(1, 2, 1000, Event());
+  sim.run();
+  EXPECT_EQ(d1.trigger_time(), 2000u);
+  EXPECT_EQ(d2.trigger_time(), 2000u);
+}
+
+TEST(Network, LocalSendUsesMemoryBandwidthNoLatency) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  Event d = net.send(1, 1, 1000, Event());
+  sim.run();
+  EXPECT_EQ(d.trigger_time(), 100u);  // 1000 B / 10 B/ns
+}
+
+TEST(Network, PreconditionDelaysInjection) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  UserEvent gate(sim);
+  Event d = net.send(0, 1, 100, gate.event());
+  sim.schedule_at(5000, [&] { gate.trigger(); });
+  sim.run();
+  EXPECT_EQ(d.trigger_time(), 6100u);
+}
+
+TEST(Network, OnDeliveryRunsAtDeliveryTime) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  Time seen = 0;
+  net.send(0, 1, 0, Event(), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 1000u);
+}
+
+TEST(Network, CountsTraffic) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  net.send(0, 1, 10, Event());
+  net.send(1, 0, 20, Event());
+  sim.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 30u);
+}
+
+TEST(Network, TreeLatencyGrowsLogarithmically) {
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  EXPECT_EQ(net.tree_latency(1), 0u);
+  const Time l2 = net.tree_latency(2);
+  const Time l64 = net.tree_latency(64);
+  const Time l1024 = net.tree_latency(1024);
+  EXPECT_GT(l2, 0u);
+  EXPECT_EQ(l64, 6 * l2);
+  EXPECT_EQ(l1024, 10 * l2);
+}
+
+}  // namespace
+}  // namespace cr::sim

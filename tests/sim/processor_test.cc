@@ -1,0 +1,89 @@
+#include "sim/processor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/simulator.h"
+
+namespace cr::sim {
+namespace {
+
+TEST(Processor, SerializesWork) {
+  Simulator sim;
+  Processor p(sim, {0, 0});
+  Event a = p.spawn(Event(), 100);
+  Event b = p.spawn(Event(), 50);
+  sim.run();
+  EXPECT_EQ(a.trigger_time(), 100u);
+  EXPECT_EQ(b.trigger_time(), 150u);  // queued behind a
+  EXPECT_EQ(p.busy_time(), 150u);
+}
+
+TEST(Processor, WaitsForPrecondition) {
+  Simulator sim;
+  Processor p(sim, {0, 0});
+  UserEvent gate(sim);
+  Event done = p.spawn(gate.event(), 10);
+  sim.schedule_at(100, [&] { gate.trigger(); });
+  sim.run();
+  EXPECT_EQ(done.trigger_time(), 110u);
+}
+
+TEST(Processor, WorkRunsAtStartTime) {
+  Simulator sim;
+  Processor p(sim, {0, 0});
+  Time work_time = 0;
+  p.spawn(Event(), 30);
+  p.spawn(Event(), 20, [&] { work_time = sim.now(); });
+  sim.run();
+  EXPECT_EQ(work_time, 30u);  // starts when first item finishes
+}
+
+TEST(Processor, IndependentItemsOverlapAcrossCores) {
+  Simulator sim;
+  Machine m(sim, {.nodes = 1, .cores_per_node = 2});
+  Event a = m.proc(0, 0).spawn(Event(), 100);
+  Event b = m.proc(0, 1).spawn(Event(), 100);
+  sim.run();
+  EXPECT_EQ(a.trigger_time(), 100u);
+  EXPECT_EQ(b.trigger_time(), 100u);
+  EXPECT_EQ(m.node_busy_time(0), 200u);
+}
+
+TEST(Processor, ReadyOrderIsFifo) {
+  Simulator sim;
+  Processor p(sim, {0, 0});
+  UserEvent g1(sim), g2(sim);
+  std::vector<int> order;
+  p.spawn(g1.event(), 10, [&] { order.push_back(1); });
+  p.spawn(g2.event(), 10, [&] { order.push_back(2); });
+  // g2 becomes ready first, so item 2 runs first.
+  sim.schedule_at(5, [&] { g2.trigger(); });
+  sim.schedule_at(6, [&] { g1.trigger(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Machine, ProcLookup) {
+  Simulator sim;
+  Machine m(sim, {.nodes = 3, .cores_per_node = 4});
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_EQ(m.cores_per_node(), 4u);
+  EXPECT_EQ(m.proc(2, 3).id().node, 2u);
+  EXPECT_EQ(m.proc(2, 3).id().core, 3u);
+}
+
+TEST(Processor, ZeroDurationCompletesAtReadyTime) {
+  Simulator sim;
+  Processor p(sim, {0, 0});
+  UserEvent gate(sim);
+  Event done = p.spawn(gate.event(), 0);
+  sim.schedule_at(7, [&] { gate.trigger(); });
+  sim.run();
+  EXPECT_EQ(done.trigger_time(), 7u);
+}
+
+}  // namespace
+}  // namespace cr::sim

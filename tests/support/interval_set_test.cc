@@ -1,0 +1,202 @@
+#include "support/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cr::support {
+namespace {
+
+TEST(IntervalSet, EmptyBasics) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.interval_count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, RangeConstruction) {
+  auto s = IntervalSet::range(3, 10);
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.bounds(), (Interval{3, 10}));
+}
+
+TEST(IntervalSet, EmptyRangeIsEmpty) {
+  EXPECT_TRUE(IntervalSet::range(5, 5).empty());
+  EXPECT_TRUE(IntervalSet::range(7, 5).empty());
+}
+
+TEST(IntervalSet, FromPointsCoalesces) {
+  auto s = IntervalSet::from_points({5, 1, 2, 3, 9, 2});
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.interval_count(), 3u);  // [1,4) [5,6) [9,10)
+  EXPECT_TRUE(s.contains(1) && s.contains(2) && s.contains(3));
+  EXPECT_TRUE(s.contains(5) && s.contains(9));
+  EXPECT_FALSE(s.contains(4) && s.contains(0));
+}
+
+TEST(IntervalSet, AddCoalescesAdjacent) {
+  IntervalSet s;
+  s.add(0, 5);
+  s.add(5, 10);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(IntervalSet, AddOutOfOrder) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(0, 5);
+  s.add(4, 12);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(IntervalSet, AppendFastPath) {
+  IntervalSet s;
+  for (uint64_t i = 0; i < 100; i += 2) s.append_point(i);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(s.interval_count(), 50u);
+}
+
+TEST(IntervalSet, UnionDisjointAndOverlap) {
+  auto a = IntervalSet::range(0, 10);
+  auto b = IntervalSet::range(20, 30);
+  auto u = a.set_union(b);
+  EXPECT_EQ(u.size(), 20u);
+  EXPECT_EQ(u.interval_count(), 2u);
+
+  auto c = IntervalSet::range(5, 25);
+  auto u2 = u.set_union(c);
+  EXPECT_EQ(u2.interval_count(), 1u);
+  EXPECT_EQ(u2.size(), 30u);
+}
+
+TEST(IntervalSet, IntersectBasic) {
+  auto a = IntervalSet::range(0, 10);
+  auto b = IntervalSet::range(5, 15);
+  auto i = a.set_intersect(b);
+  EXPECT_EQ(i, IntervalSet::range(5, 10));
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+  auto a = IntervalSet::range(0, 10);
+  auto b = IntervalSet::range(10, 20);
+  EXPECT_TRUE(a.set_intersect(b).empty());
+  EXPECT_TRUE(a.disjoint(b));
+}
+
+TEST(IntervalSet, SubtractSplitsInterval) {
+  auto a = IntervalSet::range(0, 10);
+  auto b = IntervalSet::range(3, 7);
+  auto d = a.set_subtract(b);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.interval_count(), 2u);
+  EXPECT_TRUE(d.contains(2) && d.contains(7));
+  EXPECT_FALSE(d.contains(3) || d.contains(6));
+}
+
+TEST(IntervalSet, ContainsAll) {
+  auto a = IntervalSet::range(0, 100);
+  auto b = IntervalSet::from_points({1, 50, 99});
+  EXPECT_TRUE(a.contains_all(b));
+  EXPECT_FALSE(b.contains_all(a));
+  b.add_point(100);
+  EXPECT_FALSE(a.contains_all(b));
+}
+
+TEST(IntervalSet, NthPoint) {
+  auto s = IntervalSet::from_points({2, 3, 10, 11, 12});
+  EXPECT_EQ(s.nth_point(0), 2u);
+  EXPECT_EQ(s.nth_point(1), 3u);
+  EXPECT_EQ(s.nth_point(2), 10u);
+  EXPECT_EQ(s.nth_point(4), 12u);
+}
+
+TEST(IntervalSet, ForEachPointVisitsInOrder) {
+  auto s = IntervalSet::from_points({7, 1, 3});
+  std::vector<uint64_t> seen;
+  s.for_each_point([&](uint64_t p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 3, 7}));
+}
+
+// ---- Property tests against a brute-force std::set oracle. ----
+
+IntervalSet random_set(Rng& rng, uint64_t universe, int ops) {
+  IntervalSet s;
+  for (int i = 0; i < ops; ++i) {
+    uint64_t lo = rng.next_below(universe);
+    uint64_t hi = lo + rng.next_below(universe / 4 + 1);
+    s.add(lo, std::min(hi, universe));
+  }
+  return s;
+}
+
+std::set<uint64_t> to_oracle(const IntervalSet& s) {
+  std::set<uint64_t> out;
+  s.for_each_point([&](uint64_t p) { out.insert(p); });
+  return out;
+}
+
+class IntervalSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetProperty, AlgebraMatchesSetOracle) {
+  Rng rng(GetParam());
+  const uint64_t universe = 200;
+  auto a = random_set(rng, universe, 6);
+  auto b = random_set(rng, universe, 6);
+  auto oa = to_oracle(a);
+  auto ob = to_oracle(b);
+
+  // union
+  std::set<uint64_t> ou = oa;
+  ou.insert(ob.begin(), ob.end());
+  EXPECT_EQ(to_oracle(a.set_union(b)), ou);
+
+  // intersect
+  std::set<uint64_t> oi;
+  for (uint64_t p : oa) {
+    if (ob.count(p)) oi.insert(p);
+  }
+  EXPECT_EQ(to_oracle(a.set_intersect(b)), oi);
+
+  // subtract
+  std::set<uint64_t> od;
+  for (uint64_t p : oa) {
+    if (!ob.count(p)) od.insert(p);
+  }
+  EXPECT_EQ(to_oracle(a.set_subtract(b)), od);
+
+  // predicates
+  EXPECT_EQ(a.overlaps(b), !oi.empty());
+  EXPECT_EQ(a.size(), oa.size());
+
+  // representation invariants: sorted, disjoint, coalesced
+  const IntervalSet u3 = a.set_union(b);
+  const auto& ivs = u3.intervals();
+  for (size_t i = 1; i < ivs.size(); ++i) {
+    EXPECT_LT(ivs[i - 1].hi, ivs[i].lo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range<uint64_t>(0, 50));
+
+TEST(IntervalSet, UnionIdentityAndIdempotence) {
+  Rng rng(42);
+  auto a = random_set(rng, 500, 10);
+  EXPECT_EQ(a.set_union(IntervalSet()), a);
+  EXPECT_EQ(a.set_union(a), a);
+  EXPECT_EQ(a.set_intersect(a), a);
+  EXPECT_TRUE(a.set_subtract(a).empty());
+}
+
+}  // namespace
+}  // namespace cr::support

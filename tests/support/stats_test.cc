@@ -1,0 +1,43 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace cr::support {
+namespace {
+
+TEST(Stats, AddAccumulates) {
+  Stats s;
+  s.add("tasks");
+  s.add("tasks", 4);
+  EXPECT_DOUBLE_EQ(s.get("tasks"), 5.0);
+}
+
+TEST(Stats, MissingIsZero) {
+  Stats s;
+  EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
+  EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(Stats, SetMaxKeepsMaximum) {
+  Stats s;
+  s.set_max("peak", 3);
+  s.set_max("peak", 7);
+  s.set_max("peak", 5);
+  EXPECT_DOUBLE_EQ(s.get("peak"), 7.0);
+}
+
+TEST(Stats, ClearResets) {
+  Stats s;
+  s.add("x", 2);
+  s.clear();
+  EXPECT_FALSE(s.has("x"));
+}
+
+TEST(Stats, ToStringListsEntries) {
+  Stats s;
+  s.add("copies", 3);
+  EXPECT_NE(s.to_string().find("copies = 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cr::support

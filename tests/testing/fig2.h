@@ -1,0 +1,102 @@
+// Shared test fixture: the paper's Figure 2 program.
+//
+//   task TF(B: region, A: region) where reads writes(B), reads(A):
+//     for i in SU: B[i] = F(A[i])
+//   task TG(A: region, B: region) where reads writes(A), reads(B):
+//     for j in SU: A[j] = G(B[h(j)])
+//   main:
+//     PA = block(A, I); PB = block(B, I); QB = image(B, PB, h)
+//     for t = 0, T: { for i in I: TF(PB[i], PA[i]);
+//                     for j in I: TG(PA[j], QB[j]) }
+//
+// F, G and h are concrete here so executions are checkable: h is a
+// shifted neighbor map (aliasing across blocks), F doubles, G sums the
+// neighbor value with 1.
+#pragma once
+
+#include <memory>
+
+#include "ir/builder.h"
+#include "rt/partition.h"
+#include "rt/runtime.h"
+
+namespace cr::testing {
+
+struct Fig2 {
+  static constexpr uint64_t kShift = 3;
+
+  rt::RegionForest* forest = nullptr;
+  std::shared_ptr<rt::FieldSpace> fsa, fsb;
+  rt::FieldId fa, fb;
+  rt::RegionId a, b;
+  rt::PartitionId pa, pb, qb;
+  ir::TaskId t_init, t_f, t_g;
+  ir::Program program;
+
+  // n: elements per region; colors: |I|; steps: T.
+  Fig2(rt::RegionForest& f, uint64_t n, uint64_t colors, uint64_t steps) {
+    forest = &f;
+    fsa = std::make_shared<rt::FieldSpace>();
+    fa = fsa->add_field("va");
+    fsb = std::make_shared<rt::FieldSpace>();
+    fb = fsb->add_field("vb");
+    a = f.create_region(rt::IndexSpace::dense(n), fsa, "A");
+    b = f.create_region(rt::IndexSpace::dense(n), fsb, "B");
+    pa = rt::partition_equal(f, a, colors, "PA");
+    pb = rt::partition_equal(f, b, colors, "PB");
+    const uint64_t size = n;
+    qb = rt::partition_image(
+        f, b, pb,
+        [size](uint64_t x, std::vector<uint64_t>& out) {
+          out.push_back(h(x, size));
+        },
+        "QB");
+
+    ir::ProgramBuilder pbld(f, "fig2");
+    using P = rt::Privilege;
+    t_init = pbld.task(
+        "TInit", {{P::kWriteDiscard, rt::ReduceOp::kSum, {fa}}}, 500, 0.5,
+        [](ir::TaskContext& ctx) {
+          ctx.domain().points().for_each_point([&](uint64_t p) {
+            ctx.write_f64(0, 0, p, static_cast<double>(p % 17) + 1.0);
+          });
+        });
+    t_f = pbld.task(
+        "TF",
+        {{P::kReadWrite, rt::ReduceOp::kSum, {fb}},
+         {P::kReadOnly, rt::ReduceOp::kSum, {fa}}},
+        1000, 1.0,
+        [](ir::TaskContext& ctx) {
+          ctx.domain().points().for_each_point([&](uint64_t p) {
+            ctx.write_f64(0, 0, p, 2.0 * ctx.read_f64(1, 0, p));
+          });
+        });
+    t_g = pbld.task(
+        "TG",
+        {{P::kReadWrite, rt::ReduceOp::kSum, {fa}},
+         {P::kReadOnly, rt::ReduceOp::kSum, {fb}}},
+        1000, 1.0,
+        [size](ir::TaskContext& ctx) {
+          ctx.domain().points().for_each_point([&](uint64_t p) {
+            ctx.write_f64(0, 0, p, ctx.read_f64(1, 0, h(p, size)) + 1.0);
+          });
+        });
+
+    using B = ir::ProgramBuilder;
+    pbld.index_launch(t_init, colors,
+                      {B::arg(pa, P::kWriteDiscard, {fa})});
+    pbld.begin_for_time(steps);
+    pbld.index_launch(t_f, colors,
+                      {B::arg(pb, P::kReadWrite, {fb}),
+                       B::arg(pa, P::kReadOnly, {fa})});
+    pbld.index_launch(t_g, colors,
+                      {B::arg(pa, P::kReadWrite, {fa}),
+                       B::arg(qb, P::kReadOnly, {fb})});
+    pbld.end_for_time();
+    program = pbld.finish();
+  }
+
+  static uint64_t h(uint64_t x, uint64_t n) { return (x + kShift) % n; }
+};
+
+}  // namespace cr::testing
