@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_stencil.dir/bench_fig6_stencil.cc.o"
+  "CMakeFiles/bench_fig6_stencil.dir/bench_fig6_stencil.cc.o.d"
+  "bench_fig6_stencil"
+  "bench_fig6_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

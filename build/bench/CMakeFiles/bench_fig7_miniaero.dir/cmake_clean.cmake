@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_miniaero.dir/bench_fig7_miniaero.cc.o"
+  "CMakeFiles/bench_fig7_miniaero.dir/bench_fig7_miniaero.cc.o.d"
+  "bench_fig7_miniaero"
+  "bench_fig7_miniaero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_miniaero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

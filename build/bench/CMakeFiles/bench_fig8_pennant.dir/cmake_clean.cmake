@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pennant.dir/bench_fig8_pennant.cc.o"
+  "CMakeFiles/bench_fig8_pennant.dir/bench_fig8_pennant.cc.o.d"
+  "bench_fig8_pennant"
+  "bench_fig8_pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

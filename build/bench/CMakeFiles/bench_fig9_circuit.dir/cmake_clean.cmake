@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_circuit.dir/bench_fig9_circuit.cc.o"
+  "CMakeFiles/bench_fig9_circuit.dir/bench_fig9_circuit.cc.o.d"
+  "bench_fig9_circuit"
+  "bench_fig9_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_intersections.dir/bench_table1_intersections.cc.o"
+  "CMakeFiles/bench_table1_intersections.dir/bench_table1_intersections.cc.o.d"
+  "bench_table1_intersections"
+  "bench_table1_intersections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_intersections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

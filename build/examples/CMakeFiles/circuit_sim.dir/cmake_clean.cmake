@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_sim.dir/circuit_sim.cpp.o"
+  "CMakeFiles/circuit_sim.dir/circuit_sim.cpp.o.d"
+  "circuit_sim"
+  "circuit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_grid.dir/heat_grid.cpp.o"
+  "CMakeFiles/heat_grid.dir/heat_grid.cpp.o.d"
+  "heat_grid"
+  "heat_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydro_dt.dir/hydro_dt.cpp.o"
+  "CMakeFiles/hydro_dt.dir/hydro_dt.cpp.o.d"
+  "hydro_dt"
+  "hydro_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydro_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hydro_dt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect.dir/inspect.cpp.o"
+  "CMakeFiles/inspect.dir/inspect.cpp.o.d"
+  "inspect"
+  "inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/circuit/circuit.cc" "src/CMakeFiles/cr_apps.dir/apps/circuit/circuit.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/circuit/circuit.cc.o.d"
+  "/root/repo/src/apps/circuit/graph.cc" "src/CMakeFiles/cr_apps.dir/apps/circuit/graph.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/circuit/graph.cc.o.d"
+  "/root/repo/src/apps/common/bsp.cc" "src/CMakeFiles/cr_apps.dir/apps/common/bsp.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/common/bsp.cc.o.d"
+  "/root/repo/src/apps/miniaero/miniaero.cc" "src/CMakeFiles/cr_apps.dir/apps/miniaero/miniaero.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/miniaero/miniaero.cc.o.d"
+  "/root/repo/src/apps/pennant/pennant.cc" "src/CMakeFiles/cr_apps.dir/apps/pennant/pennant.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/pennant/pennant.cc.o.d"
+  "/root/repo/src/apps/stencil/stencil.cc" "src/CMakeFiles/cr_apps.dir/apps/stencil/stencil.cc.o" "gcc" "src/CMakeFiles/cr_apps.dir/apps/stencil/stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

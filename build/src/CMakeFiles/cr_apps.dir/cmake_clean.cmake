@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_apps.dir/apps/circuit/circuit.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/circuit/circuit.cc.o.d"
+  "CMakeFiles/cr_apps.dir/apps/circuit/graph.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/circuit/graph.cc.o.d"
+  "CMakeFiles/cr_apps.dir/apps/common/bsp.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/common/bsp.cc.o.d"
+  "CMakeFiles/cr_apps.dir/apps/miniaero/miniaero.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/miniaero/miniaero.cc.o.d"
+  "CMakeFiles/cr_apps.dir/apps/pennant/pennant.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/pennant/pennant.cc.o.d"
+  "CMakeFiles/cr_apps.dir/apps/stencil/stencil.cc.o"
+  "CMakeFiles/cr_apps.dir/apps/stencil/stencil.cc.o.d"
+  "libcr_apps.a"
+  "libcr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cost_model.cc" "src/CMakeFiles/cr_exec.dir/exec/cost_model.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/CMakeFiles/cr_exec.dir/exec/engine.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/engine.cc.o.d"
+  "/root/repo/src/exec/implicit_exec.cc" "src/CMakeFiles/cr_exec.dir/exec/implicit_exec.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/implicit_exec.cc.o.d"
+  "/root/repo/src/exec/report.cc" "src/CMakeFiles/cr_exec.dir/exec/report.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/report.cc.o.d"
+  "/root/repo/src/exec/sequential_exec.cc" "src/CMakeFiles/cr_exec.dir/exec/sequential_exec.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/sequential_exec.cc.o.d"
+  "/root/repo/src/exec/spmd_exec.cc" "src/CMakeFiles/cr_exec.dir/exec/spmd_exec.cc.o" "gcc" "src/CMakeFiles/cr_exec.dir/exec/spmd_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

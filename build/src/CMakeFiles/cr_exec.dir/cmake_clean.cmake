@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_exec.dir/exec/cost_model.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/cost_model.cc.o.d"
+  "CMakeFiles/cr_exec.dir/exec/engine.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/engine.cc.o.d"
+  "CMakeFiles/cr_exec.dir/exec/implicit_exec.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/implicit_exec.cc.o.d"
+  "CMakeFiles/cr_exec.dir/exec/report.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/report.cc.o.d"
+  "CMakeFiles/cr_exec.dir/exec/sequential_exec.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/sequential_exec.cc.o.d"
+  "CMakeFiles/cr_exec.dir/exec/spmd_exec.cc.o"
+  "CMakeFiles/cr_exec.dir/exec/spmd_exec.cc.o.d"
+  "libcr_exec.a"
+  "libcr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

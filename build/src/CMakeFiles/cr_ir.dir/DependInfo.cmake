@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/cr_ir.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/cr_ir.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/cr_ir.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/cr_ir.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/CMakeFiles/cr_ir.dir/ir/program.cc.o" "gcc" "src/CMakeFiles/cr_ir.dir/ir/program.cc.o.d"
+  "/root/repo/src/ir/static_region_tree.cc" "src/CMakeFiles/cr_ir.dir/ir/static_region_tree.cc.o" "gcc" "src/CMakeFiles/cr_ir.dir/ir/static_region_tree.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/CMakeFiles/cr_ir.dir/ir/verify.cc.o" "gcc" "src/CMakeFiles/cr_ir.dir/ir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_ir.dir/ir/builder.cc.o"
+  "CMakeFiles/cr_ir.dir/ir/builder.cc.o.d"
+  "CMakeFiles/cr_ir.dir/ir/printer.cc.o"
+  "CMakeFiles/cr_ir.dir/ir/printer.cc.o.d"
+  "CMakeFiles/cr_ir.dir/ir/program.cc.o"
+  "CMakeFiles/cr_ir.dir/ir/program.cc.o.d"
+  "CMakeFiles/cr_ir.dir/ir/static_region_tree.cc.o"
+  "CMakeFiles/cr_ir.dir/ir/static_region_tree.cc.o.d"
+  "CMakeFiles/cr_ir.dir/ir/verify.cc.o"
+  "CMakeFiles/cr_ir.dir/ir/verify.cc.o.d"
+  "libcr_ir.a"
+  "libcr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

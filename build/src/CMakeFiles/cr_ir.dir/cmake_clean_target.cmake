@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcr_ir.a"
+)

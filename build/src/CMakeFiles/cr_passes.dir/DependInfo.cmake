@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/applicability.cc" "src/CMakeFiles/cr_passes.dir/passes/applicability.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/applicability.cc.o.d"
+  "/root/repo/src/passes/common.cc" "src/CMakeFiles/cr_passes.dir/passes/common.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/common.cc.o.d"
+  "/root/repo/src/passes/copy_placement.cc" "src/CMakeFiles/cr_passes.dir/passes/copy_placement.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/copy_placement.cc.o.d"
+  "/root/repo/src/passes/data_replication.cc" "src/CMakeFiles/cr_passes.dir/passes/data_replication.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/data_replication.cc.o.d"
+  "/root/repo/src/passes/hierarchical.cc" "src/CMakeFiles/cr_passes.dir/passes/hierarchical.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/hierarchical.cc.o.d"
+  "/root/repo/src/passes/intersection_opt.cc" "src/CMakeFiles/cr_passes.dir/passes/intersection_opt.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/intersection_opt.cc.o.d"
+  "/root/repo/src/passes/pipeline.cc" "src/CMakeFiles/cr_passes.dir/passes/pipeline.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/pipeline.cc.o.d"
+  "/root/repo/src/passes/projection_normalize.cc" "src/CMakeFiles/cr_passes.dir/passes/projection_normalize.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/projection_normalize.cc.o.d"
+  "/root/repo/src/passes/region_reduction.cc" "src/CMakeFiles/cr_passes.dir/passes/region_reduction.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/region_reduction.cc.o.d"
+  "/root/repo/src/passes/scalar_reduction.cc" "src/CMakeFiles/cr_passes.dir/passes/scalar_reduction.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/scalar_reduction.cc.o.d"
+  "/root/repo/src/passes/shard_creation.cc" "src/CMakeFiles/cr_passes.dir/passes/shard_creation.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/shard_creation.cc.o.d"
+  "/root/repo/src/passes/sync_insertion.cc" "src/CMakeFiles/cr_passes.dir/passes/sync_insertion.cc.o" "gcc" "src/CMakeFiles/cr_passes.dir/passes/sync_insertion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

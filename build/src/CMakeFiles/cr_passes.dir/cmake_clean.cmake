@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_passes.dir/passes/applicability.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/applicability.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/common.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/common.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/copy_placement.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/copy_placement.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/data_replication.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/data_replication.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/hierarchical.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/hierarchical.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/intersection_opt.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/intersection_opt.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/pipeline.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/pipeline.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/projection_normalize.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/projection_normalize.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/region_reduction.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/region_reduction.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/scalar_reduction.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/scalar_reduction.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/shard_creation.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/shard_creation.cc.o.d"
+  "CMakeFiles/cr_passes.dir/passes/sync_insertion.cc.o"
+  "CMakeFiles/cr_passes.dir/passes/sync_insertion.cc.o.d"
+  "libcr_passes.a"
+  "libcr_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

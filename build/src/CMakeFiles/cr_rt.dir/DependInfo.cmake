@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/barrier.cc" "src/CMakeFiles/cr_rt.dir/rt/barrier.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/barrier.cc.o.d"
+  "/root/repo/src/rt/collective.cc" "src/CMakeFiles/cr_rt.dir/rt/collective.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/collective.cc.o.d"
+  "/root/repo/src/rt/copy.cc" "src/CMakeFiles/cr_rt.dir/rt/copy.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/copy.cc.o.d"
+  "/root/repo/src/rt/dependence.cc" "src/CMakeFiles/cr_rt.dir/rt/dependence.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/dependence.cc.o.d"
+  "/root/repo/src/rt/index_space.cc" "src/CMakeFiles/cr_rt.dir/rt/index_space.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/index_space.cc.o.d"
+  "/root/repo/src/rt/intersect.cc" "src/CMakeFiles/cr_rt.dir/rt/intersect.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/intersect.cc.o.d"
+  "/root/repo/src/rt/mapper.cc" "src/CMakeFiles/cr_rt.dir/rt/mapper.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/mapper.cc.o.d"
+  "/root/repo/src/rt/partition.cc" "src/CMakeFiles/cr_rt.dir/rt/partition.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/partition.cc.o.d"
+  "/root/repo/src/rt/physical.cc" "src/CMakeFiles/cr_rt.dir/rt/physical.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/physical.cc.o.d"
+  "/root/repo/src/rt/region_tree.cc" "src/CMakeFiles/cr_rt.dir/rt/region_tree.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/region_tree.cc.o.d"
+  "/root/repo/src/rt/runtime.cc" "src/CMakeFiles/cr_rt.dir/rt/runtime.cc.o" "gcc" "src/CMakeFiles/cr_rt.dir/rt/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

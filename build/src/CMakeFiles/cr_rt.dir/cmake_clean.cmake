@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_rt.dir/rt/barrier.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/barrier.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/collective.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/collective.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/copy.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/copy.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/dependence.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/dependence.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/index_space.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/index_space.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/intersect.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/intersect.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/mapper.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/mapper.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/partition.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/partition.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/physical.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/physical.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/region_tree.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/region_tree.cc.o.d"
+  "CMakeFiles/cr_rt.dir/rt/runtime.cc.o"
+  "CMakeFiles/cr_rt.dir/rt/runtime.cc.o.d"
+  "libcr_rt.a"
+  "libcr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

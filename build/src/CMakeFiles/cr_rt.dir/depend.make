@@ -1,0 +1,2 @@
+# Empty dependencies file for cr_rt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_sim.dir/sim/event.cc.o"
+  "CMakeFiles/cr_sim.dir/sim/event.cc.o.d"
+  "CMakeFiles/cr_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/cr_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/cr_sim.dir/sim/network.cc.o"
+  "CMakeFiles/cr_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/cr_sim.dir/sim/processor.cc.o"
+  "CMakeFiles/cr_sim.dir/sim/processor.cc.o.d"
+  "CMakeFiles/cr_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/cr_sim.dir/sim/simulator.cc.o.d"
+  "libcr_sim.a"
+  "libcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/interval_set.cc" "src/CMakeFiles/cr_support.dir/support/interval_set.cc.o" "gcc" "src/CMakeFiles/cr_support.dir/support/interval_set.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/CMakeFiles/cr_support.dir/support/log.cc.o" "gcc" "src/CMakeFiles/cr_support.dir/support/log.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/cr_support.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/cr_support.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/cr_support.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/cr_support.dir/support/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

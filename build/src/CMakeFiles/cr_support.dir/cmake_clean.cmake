@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_support.dir/support/interval_set.cc.o"
+  "CMakeFiles/cr_support.dir/support/interval_set.cc.o.d"
+  "CMakeFiles/cr_support.dir/support/log.cc.o"
+  "CMakeFiles/cr_support.dir/support/log.cc.o.d"
+  "CMakeFiles/cr_support.dir/support/rng.cc.o"
+  "CMakeFiles/cr_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/cr_support.dir/support/stats.cc.o"
+  "CMakeFiles/cr_support.dir/support/stats.cc.o.d"
+  "libcr_support.a"
+  "libcr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/bsp_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/bsp_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/circuit_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/circuit_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/miniaero_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/miniaero_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/pennant_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/pennant_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/stencil_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/stencil_test.cc.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/determinism_test.cc" "tests/CMakeFiles/test_exec.dir/exec/determinism_test.cc.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/determinism_test.cc.o.d"
+  "/root/repo/tests/exec/engine_features_test.cc" "tests/CMakeFiles/test_exec.dir/exec/engine_features_test.cc.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/engine_features_test.cc.o.d"
+  "/root/repo/tests/exec/equivalence_test.cc" "tests/CMakeFiles/test_exec.dir/exec/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/equivalence_test.cc.o.d"
+  "/root/repo/tests/exec/fuzz_test.cc" "tests/CMakeFiles/test_exec.dir/exec/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/fuzz_test.cc.o.d"
+  "/root/repo/tests/exec/report_test.cc" "tests/CMakeFiles/test_exec.dir/exec/report_test.cc.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/report_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/exec/determinism_test.cc.o"
+  "CMakeFiles/test_exec.dir/exec/determinism_test.cc.o.d"
+  "CMakeFiles/test_exec.dir/exec/engine_features_test.cc.o"
+  "CMakeFiles/test_exec.dir/exec/engine_features_test.cc.o.d"
+  "CMakeFiles/test_exec.dir/exec/equivalence_test.cc.o"
+  "CMakeFiles/test_exec.dir/exec/equivalence_test.cc.o.d"
+  "CMakeFiles/test_exec.dir/exec/fuzz_test.cc.o"
+  "CMakeFiles/test_exec.dir/exec/fuzz_test.cc.o.d"
+  "CMakeFiles/test_exec.dir/exec/report_test.cc.o"
+  "CMakeFiles/test_exec.dir/exec/report_test.cc.o.d"
+  "test_exec"
+  "test_exec.pdb"
+  "test_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

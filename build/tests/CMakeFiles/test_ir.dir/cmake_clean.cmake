@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/builder_printer_test.cc.o"
+  "CMakeFiles/test_ir.dir/ir/builder_printer_test.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/verify_test.cc.o"
+  "CMakeFiles/test_ir.dir/ir/verify_test.cc.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes.dir/passes/copy_placement_test.cc.o"
+  "CMakeFiles/test_passes.dir/passes/copy_placement_test.cc.o.d"
+  "CMakeFiles/test_passes.dir/passes/pipeline_test.cc.o"
+  "CMakeFiles/test_passes.dir/passes/pipeline_test.cc.o.d"
+  "test_passes"
+  "test_passes.pdb"
+  "test_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

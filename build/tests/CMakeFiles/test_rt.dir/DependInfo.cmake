@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/copy_mapper_test.cc" "tests/CMakeFiles/test_rt.dir/rt/copy_mapper_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/copy_mapper_test.cc.o.d"
+  "/root/repo/tests/rt/dependence_test.cc" "tests/CMakeFiles/test_rt.dir/rt/dependence_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/dependence_test.cc.o.d"
+  "/root/repo/tests/rt/geometry_test.cc" "tests/CMakeFiles/test_rt.dir/rt/geometry_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/geometry_test.cc.o.d"
+  "/root/repo/tests/rt/index_space_test.cc" "tests/CMakeFiles/test_rt.dir/rt/index_space_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/index_space_test.cc.o.d"
+  "/root/repo/tests/rt/intersect_test.cc" "tests/CMakeFiles/test_rt.dir/rt/intersect_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/intersect_test.cc.o.d"
+  "/root/repo/tests/rt/partition_test.cc" "tests/CMakeFiles/test_rt.dir/rt/partition_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/partition_test.cc.o.d"
+  "/root/repo/tests/rt/physical_test.cc" "tests/CMakeFiles/test_rt.dir/rt/physical_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/physical_test.cc.o.d"
+  "/root/repo/tests/rt/region_tree_test.cc" "tests/CMakeFiles/test_rt.dir/rt/region_tree_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/region_tree_test.cc.o.d"
+  "/root/repo/tests/rt/sync_test.cc" "tests/CMakeFiles/test_rt.dir/rt/sync_test.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/sync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt.dir/rt/copy_mapper_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/copy_mapper_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/dependence_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/dependence_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/geometry_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/geometry_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/index_space_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/index_space_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/intersect_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/intersect_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/partition_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/partition_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/physical_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/physical_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/region_tree_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/region_tree_test.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/sync_test.cc.o"
+  "CMakeFiles/test_rt.dir/rt/sync_test.cc.o.d"
+  "test_rt"
+  "test_rt.pdb"
+  "test_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/interval_set_test.cc.o"
+  "CMakeFiles/test_support.dir/support/interval_set_test.cc.o.d"
+  "CMakeFiles/test_support.dir/support/rng_test.cc.o"
+  "CMakeFiles/test_support.dir/support/rng_test.cc.o.d"
+  "CMakeFiles/test_support.dir/support/stats_test.cc.o"
+  "CMakeFiles/test_support.dir/support/stats_test.cc.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
