@@ -51,6 +51,7 @@ double run_engine(uint32_t nodes, bool spmd) {
     cost.implicit_launch_ns = 2.0e6;
     Config cfg = make_config(nodes, steps);
     rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
+    bench::TraceScope trace(rt, spmd ? "stencil-cr" : "stencil-nocr", nodes);
     apps::stencil::App app = apps::stencil::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
     exec::PreparedRun run =
@@ -73,7 +74,8 @@ double run_mpi(uint32_t nodes, bool openmp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cr::bench::parse_args(argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
       {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},

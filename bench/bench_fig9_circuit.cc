@@ -42,6 +42,7 @@ double run_engine(uint32_t nodes, bool spmd) {
     cost.implicit_launch_ns = 300000;
     Config cfg = make_config(nodes, steps);
     rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
+    bench::TraceScope trace(rt, spmd ? "circuit-cr" : "circuit-nocr", nodes);
     apps::circuit::App app = apps::circuit::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
     exec::PreparedRun run =
@@ -54,7 +55,8 @@ double run_engine(uint32_t nodes, bool spmd) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cr::bench::parse_args(argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
       {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},

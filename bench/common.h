@@ -6,13 +6,115 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/report.h"
 #include "exec/spmd_exec.h"
+#include "rt/runtime.h"
+#include "support/trace.h"
 
 namespace cr::bench {
+
+// --- command-line options ---------------------------------------------
+
+struct BenchOptions {
+  // Prefix for trace artifacts; empty means tracing is disabled (the
+  // default: runs record nothing and pay only a null-pointer check).
+  std::string trace_path;
+};
+
+inline BenchOptions& options() {
+  static BenchOptions o;
+  return o;
+}
+
+// Parse the common bench flags (currently --trace[=<path>]).
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      options().trace_path = a.substr(8);
+      // `--trace=` with no value means the default, not "disabled".
+      if (options().trace_path.empty()) options().trace_path = "trace.json";
+    } else if (a == "--trace") {
+      options().trace_path = "trace.json";
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace[=<path>]]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+// Category fractions of the most recent traced run, for sweep() to fold
+// into the scaling report.
+struct LastBreakdown {
+  bool valid = false;
+  double compute = 0, copy = 0, sync = 0, idle = 0;
+};
+
+inline LastBreakdown& last_breakdown() {
+  static LastBreakdown b;
+  return b;
+}
+
+// RAII tracing for one engine run: attaches a Tracer to the runtime's
+// simulator when --trace is set, and on destruction (after the run,
+// while the runtime is still alive) writes the Chrome trace JSON plus a
+// text summary and prints the breakdown to stderr. Artifacts are named
+// <trace_path minus .json>.<label>.<nodes>n.{json,txt}; with repeated
+// runs of one configuration (steady-state differencing) the last run
+// wins.
+class TraceScope {
+ public:
+  TraceScope(rt::Runtime& rt, std::string label, uint32_t nodes)
+      : rt_(&rt), label_(std::move(label)), nodes_(nodes) {
+    if (options().trace_path.empty()) return;
+    if (rt.sim().tracer() != nullptr) return;  // someone else is tracing
+    tracer_ = std::make_unique<support::Tracer>();
+    rt.sim().set_tracer(tracer_.get());
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (tracer_ == nullptr) return;
+    rt_->sim().set_tracer(nullptr);
+    const support::TraceSummary sum = tracer_->summarize(rt_->sim().now());
+
+    std::string stem = options().trace_path;
+    const std::string suffix = ".json";
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      stem.resize(stem.size() - suffix.size());
+    }
+    const std::string base =
+        stem + "." + label_ + "." + std::to_string(nodes_) + "n";
+    tracer_->write_chrome_json(base + ".json");
+    const std::string text = sum.to_text();
+    if (FILE* f = std::fopen((base + ".txt").c_str(), "w")) {
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+    }
+    std::fprintf(stderr, "  [%s, %u nodes]\n%s  trace: %s.json\n",
+                 label_.c_str(), nodes_, text.c_str(), base.c_str());
+
+    LastBreakdown& lb = last_breakdown();
+    lb.valid = true;
+    lb.compute = sum.breakdown.compute_frac();
+    lb.copy = sum.breakdown.copy_frac();
+    lb.sync = sum.breakdown.sync_frac();
+    lb.idle = sum.breakdown.idle_frac();
+  }
+
+ private:
+  rt::Runtime* rt_;
+  std::string label_;
+  uint32_t nodes_;
+  std::unique_ptr<support::Tracer> tracer_;
+};
 
 // Node counts of the paper's weak-scaling plots, capped by the
 // CR_BENCH_MAX_NODES environment variable (default 1024).
@@ -54,7 +156,15 @@ inline exec::ScalingReport sweep(const std::string& title,
       std::fprintf(stderr, "  [%s] %u nodes...\n", spec.name.c_str(), n);
       exec::ScalingPoint pt;
       pt.nodes = n;
+      last_breakdown().valid = false;
       pt.seconds = spec.run(n);
+      if (last_breakdown().valid) {
+        pt.has_breakdown = true;
+        pt.compute_frac = last_breakdown().compute;
+        pt.copy_frac = last_breakdown().copy;
+        pt.sync_frac = last_breakdown().sync;
+        pt.idle_frac = last_breakdown().idle;
+      }
       pt.work_per_node = work_per_node;
       pt.iterations = iterations;
       series.points.push_back(pt);

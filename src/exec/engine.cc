@@ -7,6 +7,7 @@
 #include "passes/shard_creation.h"
 #include "rt/intersect.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::exec {
 
@@ -24,8 +25,18 @@ struct Engine::Impl {
        ExecMode mode)
       : rt_(rt), p_(program), cost_(cost), mode_(mode) {}
 
+  ~Impl() {
+    // If enable_trace() attached our own tracer to the simulator, detach
+    // it before it is destroyed (the runtime outlives the engine).
+    if (owned_tracer_ != nullptr &&
+        rt_.sim().tracer() == owned_tracer_.get()) {
+      rt_.sim().set_tracer(nullptr);
+    }
+  }
+
   rt::RegionForest& forest() { return rt_.forest(); }
   sim::Simulator& sim() { return rt_.sim(); }
+  support::Tracer* tracer() { return rt_.sim().tracer(); }
 
   static sim::Time ns(double v) {
     return v <= 0 ? 0 : static_cast<sim::Time>(v);
@@ -96,9 +107,17 @@ struct Engine::Impl {
     ctx.window.push_back(completion);
   }
 
-  sim::Event charge(Ctx& ctx, double cost_ns,
+  // Charge control-plane time to the context's processor. `what` labels
+  // the interval in traces; control-plane work is categorized as sync
+  // (it is the overhead control replication exists to distribute).
+  sim::Event charge(Ctx& ctx, double cost_ns, const char* what = "issue",
                     std::function<void()> work = nullptr) {
-    ctx.last = ctx.proc->spawn(ctx.last, ns(cost_ns), std::move(work));
+    support::TraceTag tag;
+    if (tracer() != nullptr) {
+      tag = {support::TraceCategory::kSync, what};
+    }
+    ctx.last = ctx.proc->spawn(ctx.last, ns(cost_ns), std::move(work),
+                               std::move(tag));
     return ctx.last;
   }
 
@@ -213,24 +232,29 @@ struct Engine::Impl {
 
   // --- timeline trace ------------------------------------------------------
 
-  struct TraceEvent {
-    std::string name;
-    uint32_t node = 0, core = 0;
-    sim::Time end = 0;
-    sim::Time duration = 0;
-  };
-  bool trace_enabled_ = false;
-  std::shared_ptr<std::vector<TraceEvent>> trace_ =
-      std::make_shared<std::vector<TraceEvent>>();
+  // Tracer owned by the engine when enable_trace() is used without an
+  // externally attached tracer (benches attach their own via the sim).
+  std::unique_ptr<support::Tracer> owned_tracer_;
 
-  void trace_op(std::string name, sim::ProcId proc, sim::Time duration,
-                sim::Event completion) {
-    if (!trace_enabled_) return;
-    auto tr = trace_;
-    completion.subscribe(
-        [tr, name = std::move(name), proc, duration](sim::Time end) {
-          tr->push_back({name, proc.node, proc.core, end, duration});
-        });
+  // Declare every hardware track up front so idle machine time on
+  // never-used cores is visible in the breakdown.
+  void declare_tracks() {
+    support::Tracer* t = tracer();
+    if (t == nullptr) return;
+    const sim::Machine& m = rt_.machine();
+    for (uint32_t n = 0; n < m.nodes(); ++n) {
+      t->set_process_name(n, "node " + std::to_string(n));
+      const uint32_t ctl = rt_.mapper().control_proc(n).core;
+      for (uint32_t c = 0; c < m.cores_per_node(); ++c) {
+        t->declare_track(n, c,
+                         c == ctl ? "control" : "core " + std::to_string(c));
+      }
+      t->declare_track(n, support::kNicTid, "nic");
+      t->declare_track(n, support::kMemTid, "mem");
+    }
+    t->set_process_name(support::kRuntimePid, "runtime");
+    t->declare_track(support::kRuntimePid, 0, "barriers", false);
+    t->declare_track(support::kRuntimePid, 1, "collectives", false);
   }
 
   // --- misc ---------------------------------------------------------------
@@ -264,6 +288,7 @@ struct Engine::Impl {
   // =====================================================================
 
   void unroll() {
+    declare_tracks();
     std::vector<Ctx> main(1);
     main[0].node = 0;
     main[0].shard = kMainEnv;
@@ -281,7 +306,7 @@ struct Engine::Impl {
     switch (s.kind) {
       case ir::StmtKind::kForTime:
         for (uint64_t t = 0; t < s.trip_count; ++t) {
-          for (Ctx& c : ctxs) charge(c, cost_.loop_overhead_ns);
+          for (Ctx& c : ctxs) charge(c, cost_.loop_overhead_ns, "loop");
           exec_body(s.body, ctxs, num_shards);
         }
         return;
@@ -329,8 +354,12 @@ struct Engine::Impl {
     for (uint32_t x = 0; x < num_shards; ++x) {
       shards[x].shard = x;
       shards[x].node = rt_.mapper().shard_node(x, num_shards);
-      shards[x].proc =
-          &rt_.machine().proc(rt_.mapper().control_proc(shards[x].node));
+      const sim::ProcId ctl = rt_.mapper().control_proc(shards[x].node);
+      shards[x].proc = &rt_.machine().proc(ctl);
+      if (support::Tracer* t = tracer()) {
+        t->declare_track(ctl.node, ctl.core,
+                         "shard " + std::to_string(x) + " (control)");
+      }
       shards[x].last = main[0].last;  // shards start once the main task
                                       // has issued them
       // Per-shard cost of the complete intersections for owned pairs
@@ -345,12 +374,12 @@ struct Engine::Impl {
           }
         }
       }
-      if (complete_ns > 0) charge(shards[x], complete_ns);
+      if (complete_ns > 0) charge(shards[x], complete_ns, "isect:complete");
     }
     exec_body(s.body, shards, num_shards);
     // The main task resumes after the shard launch itself (deferred); the
     // finalization copies it issues synchronize through instance events.
-    charge(main[0], cost_.single_task_issue_ns);
+    charge(main[0], cost_.single_task_issue_ns, "resume");
   }
 
   static uint32_t owner_shard(uint64_t color, uint64_t colors,
@@ -456,7 +485,7 @@ struct Engine::Impl {
       captures->push_back({a, v.value});
     }
 
-    pre.push_back(charge(ctx, issue_ns));
+    pre.push_back(charge(ctx, issue_ns, "issue:task"));
 
     double duration =
         decl.cost_base_ns +
@@ -487,11 +516,19 @@ struct Engine::Impl {
     }
     sim::ProcId proc =
         rt_.mapper().compute_proc(exec_node, proc_rr_[exec_node]++);
+    support::TraceTag tag;
+    if (tracer() != nullptr) {
+      tag = {support::TraceCategory::kCompute,
+             decl.name + "[" + std::to_string(color) + "]"};
+    }
     sim::Event task_done = rt_.machine().proc(proc).spawn(
-        sim::Event::merge(sim(), pre), ns(duration), std::move(work));
+        sim::Event::merge(sim(), pre), ns(duration), std::move(work),
+        std::move(tag));
     task_done.subscribe([done](sim::Time) mutable { done.trigger(); });
-    trace_op(decl.name + "[" + std::to_string(color) + "]", proc,
-             ns(duration), task_done);
+    if (support::Tracer* t = tracer()) {
+      // The user-visible `done` fires with the task span as producer.
+      t->alias(done.event().uid(), task_done.uid());
+    }
 
     ctx.outstanding.push_back(done.event());
     track(done.event(), "task " + decl.name + "[" + std::to_string(color) + "]");
@@ -547,7 +584,7 @@ struct Engine::Impl {
       pre.push_back(v.ready);
       captures->push_back({a, v.value});
     }
-    pre.push_back(charge(ctx, cost_.single_task_issue_ns));
+    pre.push_back(charge(ctx, cost_.single_task_issue_ns, "issue:single"));
 
     const double duration =
         decl.cost_base_ns +
@@ -560,9 +597,17 @@ struct Engine::Impl {
       work = make_kernel_work(decl, 0, insts, captures, nullptr);
     }
     sim::ProcId proc = rt_.mapper().compute_proc(0, proc_rr_[0]++);
+    support::TraceTag tag;
+    if (tracer() != nullptr) {
+      tag = {support::TraceCategory::kCompute, decl.name};
+    }
     sim::Event task_done = rt_.machine().proc(proc).spawn(
-        sim::Event::merge(sim(), pre), ns(duration), std::move(work));
+        sim::Event::merge(sim(), pre), ns(duration), std::move(work),
+        std::move(tag));
     task_done.subscribe([done](sim::Time) mutable { done.trigger(); });
+    if (support::Tracer* t = tracer()) {
+      t->alias(done.event().uid(), task_done.uid());
+    }
     ctx.outstanding.push_back(done.event());
     track(done.event(), "single " + decl.name);
   }
@@ -579,7 +624,7 @@ struct Engine::Impl {
       ready.push_back(v.ready);
       inputs->push_back({r, v.value});
     }
-    charge(ctx, cost_.scalar_op_ns);
+    charge(ctx, cost_.scalar_op_ns, "scalar");
 
     sim::UserEvent computed(sim());
     std::vector<std::shared_ptr<double>> outs;
@@ -689,7 +734,7 @@ struct Engine::Impl {
 
     if (req.points.empty()) {
       // Issue overhead is still paid — this is what §3.3 optimizes away.
-      charge(ctx, cost_.copy_issue_ns);
+      charge(ctx, cost_.copy_issue_ns, "issue:copy");
       ++result_.copies_skipped;
       return;
     }
@@ -718,7 +763,7 @@ struct Engine::Impl {
       pre.insert(pre.end(), d2.begin(), d2.end());
       issue_ns += cost_.dep_pair_ns *
                   static_cast<double>(rt_.deps().pairs_tested() - before);
-      pre.push_back(charge(ctx, issue_ns));
+      pre.push_back(charge(ctx, issue_ns, "issue:copy"));
       sim::Event delivered =
           rt_.copies().issue(req, sim::Event::merge(sim(), pre));
       delivered.subscribe(
@@ -729,7 +774,7 @@ struct Engine::Impl {
       return;
     }
 
-    pre.push_back(charge(ctx, issue_ns));
+    pre.push_back(charge(ctx, issue_ns, "issue:copy"));
     sim::Event delivered =
         rt_.copies().issue(req, sim::Event::merge(sim(), pre));
     note_read(ssy, delivered, req.src_node);
@@ -755,7 +800,7 @@ struct Engine::Impl {
         InstanceSync& sy = sync_of(ref);
         std::vector<sim::Event> pre;
         write_pre(sy, ref.node, pre);
-        pre.push_back(charge(ctx, cost_.fill_issue_ns));
+        pre.push_back(charge(ctx, cost_.fill_issue_ns, "issue:fill"));
         std::function<void()> work;
         if (rt_.instances() != nullptr) {
           auto* mgr = rt_.instances();
@@ -768,8 +813,13 @@ struct Engine::Impl {
         }
         sim::ProcId proc =
             rt_.mapper().compute_proc(ref.node, proc_rr_[ref.node]++);
+        support::TraceTag tag;
+        if (tracer() != nullptr) {
+          tag = {support::TraceCategory::kCompute, "fill"};
+        }
         sim::Event done = rt_.machine().proc(proc).spawn(
-            sim::Event::merge(sim(), pre), ns(500), std::move(work));
+            sim::Event::merge(sim(), pre), ns(500), std::move(work),
+            std::move(tag));
         note_write(sy, done, ref.node);
         ctx.outstanding.push_back(done);
         track(done, "fill " + std::to_string(s.fill_dst) + "[" +
@@ -832,11 +882,14 @@ struct Engine::Impl {
     // The shallow pass runs on the issuing node (paper: a single node);
     // the complete sets are charged per shard at shard start for SPMD,
     // or here for implicit mode.
-    charge(ctx, cost_.isect_shallow_per_interval_ns *
-                    static_cast<double>(intervals));
+    charge(ctx,
+           cost_.isect_shallow_per_interval_ns * static_cast<double>(intervals),
+           "isect:shallow");
     if (mode_ == ExecMode::kImplicit) {
-      charge(ctx, cost_.isect_complete_per_interval_ns *
-                      static_cast<double>(complete_intervals));
+      charge(ctx,
+             cost_.isect_complete_per_interval_ns *
+                 static_cast<double>(complete_intervals),
+             "isect:complete");
     }
   }
 
@@ -853,7 +906,7 @@ struct Engine::Impl {
       // Implicit / main-task fold: new version ready when all point tasks
       // have contributed; folded in color order (deterministic).
       Ctx& ctx = ctxs[0];
-      charge(ctx, cost_.collective_issue_ns);
+      charge(ctx, cost_.collective_issue_ns, "issue:collective");
       std::vector<sim::Event> evs;
       for (auto& [sh, list] : pr.events) {
         evs.insert(evs.end(), list.begin(), list.end());
@@ -884,7 +937,7 @@ struct Engine::Impl {
     rt::DynamicCollective* dc = cit->second.get();
     const uint64_t gen = stmt_gen_[&s]++;
     for (Ctx& ctx : ctxs) {
-      charge(ctx, cost_.collective_issue_ns);
+      charge(ctx, cost_.collective_issue_ns, "issue:collective");
       auto partials = pr.partials;
       const rt::ReduceOp op = pr.op;
       auto block = passes::shard_block(pr.colors, num_shards, ctx.shard);
@@ -1048,26 +1101,30 @@ ExecutionResult Engine::run() {
   return impl_->result_;
 }
 
-void Engine::enable_trace() { impl_->trace_enabled_ = true; }
+void Engine::enable_trace() {
+  if (impl_->tracer() == nullptr) {
+    impl_->owned_tracer_ = std::make_unique<support::Tracer>();
+    impl_->sim().set_tracer(impl_->owned_tracer_.get());
+  }
+}
 
 void Engine::write_trace(const std::string& path) const {
-  FILE* f = std::fopen(path.c_str(), "w");
-  CR_CHECK_MSG(f != nullptr, "cannot open trace file");
-  std::fprintf(f, "[\n");
-  bool first = true;
-  for (const auto& ev : *impl_->trace_) {
-    if (!first) std::fprintf(f, ",\n");
-    first = false;
-    std::fprintf(f,
-                 "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                 "\"dur\":%.3f,\"pid\":%u,\"tid\":%u}",
-                 ev.name.c_str(),
-                 static_cast<double>(ev.end - ev.duration) / 1000.0,
-                 static_cast<double>(ev.duration) / 1000.0, ev.node,
-                 ev.core);
+  const support::Tracer* t = impl_->tracer();
+  if (t == nullptr) {
+    // Tracing disabled: still produce a valid (empty) trace-event array.
+    FILE* f = std::fopen(path.c_str(), "w");
+    CR_CHECK_MSG(f != nullptr, "cannot open trace file");
+    std::fprintf(f, "[\n\n]\n");
+    std::fclose(f);
+    return;
   }
-  std::fprintf(f, "\n]\n");
-  std::fclose(f);
+  t->write_chrome_json(path);
+}
+
+support::TraceSummary Engine::trace_summary() const {
+  const support::Tracer* t = impl_->tracer();
+  CR_CHECK_MSG(t != nullptr, "trace_summary requires enable_trace()");
+  return t->summarize(impl_->sim().now());
 }
 
 double Engine::read_root_f64(rt::RegionId root, rt::FieldId f,

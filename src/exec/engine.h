@@ -28,6 +28,7 @@
 #include "rt/barrier.h"
 #include "rt/collective.h"
 #include "rt/runtime.h"
+#include "support/trace.h"
 
 namespace cr::exec {
 
@@ -56,11 +57,17 @@ class Engine {
   // Unrolls the program into the simulator and runs it to completion.
   ExecutionResult run();
 
-  // Record the virtual timeline of every point task; call before run().
+  // Record the virtual timeline of the run; call before run(). Attaches
+  // an engine-owned support::Tracer to the simulator unless the caller
+  // already attached one (e.g. bench --trace).
   void enable_trace();
   // Write the recorded timeline as a Chrome trace-event JSON file
-  // (open in chrome://tracing or Perfetto): pid = node, tid = core.
+  // (open in chrome://tracing or Perfetto): pid = node, tid = core
+  // (plus NIC/memory tracks and a synthetic "runtime" process).
   void write_trace(const std::string& path) const;
+  // Category breakdown + critical path of the traced run; call after
+  // run() with tracing enabled.
+  support::TraceSummary trace_summary() const;
 
   // Post-run access to results (real-data mode).
   double read_root_f64(rt::RegionId root, rt::FieldId f, uint64_t pt) const;

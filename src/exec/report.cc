@@ -51,6 +51,39 @@ std::string ScalingReport::to_table() const {
     }
     os << "\n";
   }
+  // Profile appendix: category breakdown per traced point, if any series
+  // carried one (populated by bench --trace).
+  bool any_breakdown = false;
+  for (const ScalingSeries& s : series) {
+    for (const ScalingPoint& p : s.points) any_breakdown |= p.has_breakdown;
+  }
+  if (any_breakdown) {
+    os << "\nmachine-time breakdown  [% of nodes x cores x makespan]\n";
+    os << std::left << std::setw(8) << "nodes";
+    for (const ScalingSeries& s : series) {
+      os << std::setw(30) << s.name + " (comp/copy/sync/idle)";
+    }
+    os << "\n";
+    for (uint32_t n : node_counts) {
+      os << std::left << std::setw(8) << n;
+      for (const ScalingSeries& s : series) {
+        const ScalingPoint* at = nullptr;
+        for (const ScalingPoint& p : s.points) {
+          if (p.nodes == n) at = &p;
+        }
+        if (at == nullptr || !at->has_breakdown) {
+          os << std::setw(30) << "-";
+          continue;
+        }
+        std::ostringstream cell;
+        cell << std::fixed << std::setprecision(0)
+             << at->compute_frac * 100 << "/" << at->copy_frac * 100 << "/"
+             << at->sync_frac * 100 << "/" << at->idle_frac * 100 << "%";
+        os << std::setw(30) << cell.str();
+      }
+      os << "\n";
+    }
+  }
   return os.str();
 }
 

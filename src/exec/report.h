@@ -18,6 +18,14 @@ struct ScalingPoint {
   double work_per_node = 0;     // elements (points/cells/zones) per node
   double iterations = 0;
 
+  // Machine-time category fractions from a traced run (--trace); the
+  // four fractions sum to 1. Valid only when has_breakdown is set.
+  bool has_breakdown = false;
+  double compute_frac = 0;
+  double copy_frac = 0;
+  double sync_frac = 0;
+  double idle_frac = 0;
+
   // elements processed per second per node
   double throughput_per_node() const {
     return seconds > 0 ? work_per_node * iterations / seconds : 0;

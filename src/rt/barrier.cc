@@ -2,6 +2,7 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::rt {
 
@@ -28,7 +29,19 @@ void PhaseBarrier::maybe_wire(Generation& g) {
   // Fan-in + fan-out over a binary tree of participants.
   const sim::Time latency = 2 * net_->tree_latency(participants_);
   sim::UserEvent* done = g.done.get();
-  all.subscribe([this, latency, done](sim::Time) {
+  Generation* gp = &g;
+  all.subscribe([this, latency, done, gp](sim::Time now) {
+    if (support::Tracer* t = sim_->tracer()) {
+      // The fan-in + fan-out propagation as a sync span on the synthetic
+      // runtime track, fed by every arrival and feeding the release.
+      const support::SpanId span = t->add_span(
+          support::kRuntimePid, 0, support::TraceCategory::kSync, "barrier",
+          now, now + latency);
+      for (const sim::Event& a : gp->arrivals) t->edge(a.uid(), span);
+      t->bind(done->event().uid(), span);
+      t->add_instant(support::kRuntimePid, 0, "barrier trigger",
+                     now + latency);
+    }
     sim_->schedule_after(latency, [done] { done->trigger(); });
   });
 }
@@ -37,6 +50,14 @@ void PhaseBarrier::arrive(uint64_t generation, sim::Event precondition) {
   Generation& g = gen(generation);
   CR_CHECK_MSG(!g.wired, "arrival after generation completed wiring");
   g.arrivals.push_back(precondition);
+  if (sim_->tracer() != nullptr) {
+    sim::Simulator* simp = sim_;
+    precondition.subscribe([simp](sim::Time now) {
+      if (support::Tracer* t = simp->tracer()) {
+        t->add_instant(support::kRuntimePid, 0, "barrier arrive", now);
+      }
+    });
+  }
   maybe_wire(g);
 }
 

@@ -2,6 +2,7 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::rt {
 
@@ -38,11 +39,18 @@ void DynamicCollective::maybe_wire(Generation& g) {
   const sim::Time latency = 2 * net_->tree_latency(participants_);
   Generation* gp = &g;
   ReduceOp op = op_;
-  all.subscribe([this, gp, op, latency](sim::Time) {
+  all.subscribe([this, gp, op, latency](sim::Time now) {
     // Fold in rank order: deterministic regardless of arrival order.
     double acc = reduce_identity(op);
     for (const auto& fn : gp->values) acc = reduce_fold(op, acc, fn());
     gp->result = acc;
+    if (support::Tracer* t = sim_->tracer()) {
+      const support::SpanId span = t->add_span(
+          support::kRuntimePid, 1, support::TraceCategory::kSync,
+          "allreduce", now, now + latency);
+      for (const sim::Event& a : gp->arrivals) t->edge(a.uid(), span);
+      t->bind(gp->done->event().uid(), span);
+    }
     sim_->schedule_after(latency, [gp] { gp->done->trigger(); });
   });
 }

@@ -4,6 +4,7 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::sim {
 
@@ -30,17 +31,30 @@ Event Event::merge(Simulator& sim, const std::vector<Event>& events) {
   UserEvent merged(sim);
   // The counter is shared by the subscriptions below.
   auto remaining = std::make_shared<size_t>(pending);
+  Simulator* simp = &sim;
+  const uint64_t merged_uid = merged.event().uid();
   for (const Event& e : events) {
     if (e.has_triggered()) continue;
-    e.subscribe([merged, remaining](Time) mutable {
-      if (--*remaining == 0) merged.trigger();
+    const uint64_t input_uid = e.uid();
+    e.subscribe([merged, remaining, simp, merged_uid,
+                 input_uid](Time) mutable {
+      if (--*remaining == 0) {
+        // The input that completes the merge is its critical
+        // predecessor; record the identity for critical-path analysis.
+        if (support::Tracer* t = simp->tracer()) {
+          t->alias(merged_uid, input_uid);
+        }
+        merged.trigger();
+      }
     });
   }
   return merged.event();
 }
 
 UserEvent::UserEvent(Simulator& sim)
-    : sim_(&sim), state_(std::make_shared<detail::EventState>()) {}
+    : sim_(&sim), state_(std::make_shared<detail::EventState>()) {
+  state_->uid = sim.new_event_uid();
+}
 
 void UserEvent::trigger() {
   CR_CHECK_MSG(!state_->triggered, "UserEvent triggered twice");

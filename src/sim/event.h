@@ -18,6 +18,7 @@ using Time = uint64_t;  // virtual nanoseconds
 
 namespace detail {
 struct EventState {
+  uint64_t uid = 0;  // unique per simulator, for trace dependence edges
   bool triggered = false;
   Time trigger_time = 0;
   std::vector<std::function<void(Time)>> waiters;
@@ -32,6 +33,8 @@ class Event {
   bool has_triggered() const { return !state_ || state_->triggered; }
   // Only valid once triggered.
   Time trigger_time() const { return state_ ? state_->trigger_time : 0; }
+  // Stable identity for trace dependence edges (0 for the no-event).
+  uint64_t uid() const { return state_ ? state_->uid : 0; }
 
   // Run fn when the event triggers (immediately if already triggered).
   // fn receives the trigger time.

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::sim {
+
+namespace {
+
+// Serialization time of `bytes` at `bandwidth` B/ns, rounded *up* so a
+// nonzero payload always costs at least 1 ns. Truncation here used to
+// make sub-ns messages free, which let fine-grained communication
+// patterns scale impossibly well.
+Time serialization_time(uint64_t bytes, double bandwidth) {
+  if (bytes == 0) return 0;
+  return static_cast<Time>(
+      std::ceil(static_cast<double>(bytes) / bandwidth));
+}
+
+}  // namespace
 
 Network::Network(Simulator& sim, uint32_t nodes, NetworkConfig config)
     : sim_(&sim), config_(config), nic_free_(nodes, 0) {
@@ -23,20 +39,43 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
                   ? std::make_shared<std::function<void()>>(
                         std::move(on_delivery))
                   : nullptr;
-  precondition.subscribe([this, src, dst, bytes, work, delivered](
-                             Time ready) mutable {
+  const uint64_t pre_uid = precondition.uid();
+  const uint64_t delivered_uid = delivered.event().uid();
+  precondition.subscribe([this, src, dst, bytes, work, delivered, pre_uid,
+                          delivered_uid](Time ready) mutable {
     ++messages_;
     bytes_ += bytes;
     Time arrive;
+    support::Tracer* t = sim_->tracer();
     if (src == dst) {
       arrive = ready + local_copy_time(bytes);
+      if (t != nullptr) {
+        const support::SpanId span = t->add_span(
+            src, support::kMemTid, support::TraceCategory::kCopy,
+            "local " + std::to_string(bytes) + "B", ready, arrive);
+        t->edge(pre_uid, span);
+        t->bind(delivered_uid, span);
+      }
     } else {
-      const Time serial =
-          static_cast<Time>(static_cast<double>(bytes) /
-                            config_.bandwidth_gbps);  // ns at GB/s == B/ns
+      const Time serial = serialization_time(bytes, config_.bandwidth_gbps);
       const Time inject = std::max(ready, nic_free_[src]);
       nic_free_[src] = inject + serial;
       arrive = inject + serial + config_.latency_ns + config_.am_handler_ns;
+      if (t != nullptr) {
+        // NIC busy interval: injection serialization only; wire latency
+        // and handler time show up as a gap before the consumer starts.
+        // Zero-byte sends are synchronization notifications.
+        const bool is_sync = bytes == 0;
+        const support::SpanId span = t->add_span(
+            src, support::kNicTid,
+            is_sync ? support::TraceCategory::kSync
+                    : support::TraceCategory::kCopy,
+            (is_sync ? "notify >" : "xfer >") + std::to_string(dst) +
+                (is_sync ? "" : " " + std::to_string(bytes) + "B"),
+            inject, inject + serial);
+        t->edge(pre_uid, span);
+        t->bind(delivered_uid, span);
+      }
     }
     sim_->schedule_at(arrive, [work, delivered]() mutable {
       if (work) (*work)();
@@ -48,23 +87,26 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
 
 Time Network::transfer_time(uint64_t bytes) const {
   return config_.latency_ns + config_.am_handler_ns +
-         static_cast<Time>(static_cast<double>(bytes) /
-                           config_.bandwidth_gbps);
+         serialization_time(bytes, config_.bandwidth_gbps);
 }
 
 Time Network::local_copy_time(uint64_t bytes) const {
-  return static_cast<Time>(static_cast<double>(bytes) /
-                           config_.mem_bandwidth_gbps);
+  return serialization_time(bytes, config_.mem_bandwidth_gbps);
 }
 
 Time Network::tree_latency(uint32_t participants, uint32_t fanin) const {
   CR_CHECK(fanin >= 2);
   if (participants <= 1) return 0;
-  const double levels =
-      std::ceil(std::log(static_cast<double>(participants)) /
-                std::log(static_cast<double>(fanin)));
-  return static_cast<Time>(levels) *
-         (config_.latency_ns + config_.am_handler_ns);
+  // Integer level count: the smallest L with fanin^L >= participants.
+  // The float-log form (ceil(log(p)/log(f))) rounds exact powers up on
+  // some platforms (e.g. log(125)/log(5) == 3.0000000000000004).
+  Time levels = 0;
+  uint64_t reach = 1;
+  while (reach < participants) {
+    reach *= fanin;
+    ++levels;
+  }
+  return levels * (config_.latency_ns + config_.am_handler_ns);
 }
 
 }  // namespace cr::sim

@@ -4,22 +4,33 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::sim {
 
 Event Processor::spawn(Event precondition, Time duration,
-                       std::function<void()> work) {
+                       std::function<void()> work, support::TraceTag tag) {
   UserEvent done(*sim_);
   auto work_ptr =
       work ? std::make_shared<std::function<void()>>(std::move(work))
            : nullptr;
-  precondition.subscribe([this, duration, work_ptr, done](Time ready) mutable {
+  const uint64_t pre_uid = precondition.uid();
+  const uint64_t done_uid = done.event().uid();
+  precondition.subscribe([this, duration, work_ptr, done, pre_uid, done_uid,
+                          tag = std::move(tag)](Time ready) mutable {
     // FIFO in ready order: the core picks this item up when it next goes
     // idle at or after `ready`.
     const Time start = std::max(ready, next_free_);
     const Time end = start + duration;
     next_free_ = end;
     busy_ += duration;
+    if (support::Tracer* t = sim_->tracer()) {
+      const support::SpanId span = t->add_span(
+          id_.node, id_.core, tag.category,
+          tag.empty() ? "work" : std::move(tag.name), start, end);
+      t->edge(pre_uid, span);
+      t->bind(done_uid, span);
+    }
     if (work_ptr) {
       sim_->schedule_at(start, [work_ptr] { (*work_ptr)(); });
     }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "sim/event.h"
+#include "support/trace.h"
 
 namespace cr::sim {
 
@@ -30,9 +31,13 @@ class Processor {
   // Enqueue a work item: after `precondition` triggers, the item occupies
   // this core for `duration` ns (FIFO with other items that are ready).
   // `work` (optional) runs at the item's start time. Returns the
-  // completion event.
+  // completion event. When a tracer is attached to the simulator, the
+  // occupancy interval is recorded as a span labeled by `tag` (or a
+  // generic "work" span when the tag is empty) and wired into the
+  // dependence graph via the precondition and completion events.
   Event spawn(Event precondition, Time duration,
-              std::function<void()> work = nullptr);
+              std::function<void()> work = nullptr,
+              support::TraceTag tag = {});
 
   // Total busy time accumulated (for utilization reports).
   Time busy_time() const { return busy_; }

@@ -14,11 +14,24 @@
 
 #include "sim/event.h"
 
+namespace cr::support {
+class Tracer;
+}
+
 namespace cr::sim {
 
 class Simulator {
  public:
   Time now() const { return now_; }
+
+  // Attach (or detach with nullptr) a trace recorder. Every component
+  // holding a Simulator reference reaches the tracer through here; a
+  // null tracer is the zero-cost disabled path.
+  void set_tracer(support::Tracer* tracer) { tracer_ = tracer; }
+  support::Tracer* tracer() const { return tracer_; }
+
+  // Unique id for a new event's trace identity.
+  uint64_t new_event_uid() { return ++next_event_uid_; }
 
   // Schedule fn at absolute virtual time t (>= now()).
   void schedule_at(Time t, std::function<void()> fn);
@@ -47,6 +60,8 @@ class Simulator {
 
   Time now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t next_event_uid_ = 0;
+  support::Tracer* tracer_ = nullptr;
   uint64_t events_processed_ = 0;
   bool running_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

@@ -21,7 +21,11 @@ IntervalSet IntervalSet::from_points(std::vector<uint64_t> points) {
   std::sort(points.begin(), points.end());
   IntervalSet out;
   for (uint64_t p : points) {
-    if (!out.ivs_.empty() && out.ivs_.back().hi >= p + 1) continue;  // dup
+    // Duplicate check as `p < back().hi`, not `back().hi >= p + 1`:
+    // the latter overflows at p == UINT64_MAX and silently dropped the
+    // point. (UINT64_MAX itself is unrepresentable in half-open
+    // intervals; append_point CHECK-fails on it rather than vanishing.)
+    if (!out.ivs_.empty() && p < out.ivs_.back().hi) continue;  // dup
     out.append_point(p);
   }
   return out;
@@ -123,6 +127,11 @@ uint64_t IntervalSet::size() const {
 Interval IntervalSet::bounds() const {
   CR_CHECK(!ivs_.empty());
   return {ivs_.front().lo, ivs_.back().hi};
+}
+
+void IntervalSet::check_representable(uint64_t p) {
+  CR_CHECK_MSG(p != UINT64_MAX,
+               "IntervalSet cannot represent UINT64_MAX as a point");
 }
 
 void IntervalSet::add(uint64_t lo, uint64_t hi) {

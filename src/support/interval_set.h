@@ -55,10 +55,13 @@ class IntervalSet {
 
   // Incremental construction. add() accepts intervals in any order;
   // append() requires lo >= the current maximum and is O(1) amortized.
+  // Point insertion rejects UINT64_MAX loudly: `p + 1` wraps to 0, so a
+  // half-open uint64 interval cannot represent it, and silently dropping
+  // the point would corrupt set algebra downstream.
   void add(uint64_t lo, uint64_t hi);
   void append(uint64_t lo, uint64_t hi);
-  void add_point(uint64_t p) { add(p, p + 1); }
-  void append_point(uint64_t p) { append(p, p + 1); }
+  void add_point(uint64_t p) { check_representable(p); add(p, p + 1); }
+  void append_point(uint64_t p) { check_representable(p); append(p, p + 1); }
   void clear() { ivs_.clear(); }
 
   // Iteration.
@@ -73,6 +76,7 @@ class IntervalSet {
   friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
 
  private:
+  static void check_representable(uint64_t p);
   void normalize();  // sort + coalesce after arbitrary adds
   std::vector<Interval> ivs_;
 };

@@ -93,5 +93,48 @@ TEST(Network, TreeLatencyGrowsLogarithmically) {
   EXPECT_EQ(l1024, 10 * l2);
 }
 
+TEST(Network, TreeLatencyExactAtPowersOfFanin) {
+  // Regression: the old float-log level count (ceil(log(p)/log(f)))
+  // rounds exact powers up on common libm implementations —
+  // log(125)/log(5) == 3.0000000000000004 — charging a spurious extra
+  // tree level.
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  const Time l1 = net.tree_latency(2);  // one level
+  EXPECT_EQ(net.tree_latency(8, 2), 3 * l1);
+  EXPECT_EQ(net.tree_latency(125, 5), 3 * l1);
+  EXPECT_EQ(net.tree_latency(216, 6), 3 * l1);
+  EXPECT_EQ(net.tree_latency(4096, 8), 4 * l1);
+  // One past a power needs an extra level.
+  EXPECT_EQ(net.tree_latency(126, 5), 4 * l1);
+  EXPECT_EQ(net.tree_latency(9, 2), 4 * l1);
+}
+
+TEST(Network, SubNanosecondSerializationRoundsUp) {
+  // Regression: bytes/bandwidth used to truncate, so payloads smaller
+  // than the per-ns bandwidth moved in zero virtual time.
+  Simulator sim;
+  Network net(sim, 2, test_config());
+  EXPECT_EQ(net.local_copy_time(1), 1u);    // 0.1 ns at 10 B/ns -> 1 ns
+  EXPECT_EQ(net.local_copy_time(25), 3u);   // ceil(2.5)
+  EXPECT_EQ(net.local_copy_time(0), 0u);    // empty stays free
+  EXPECT_EQ(net.transfer_time(1), 1001u);   // latency + ceil(1/1)
+  Event d = net.send(1, 1, 1, Event());     // local 1 B at 10 B/ns
+  sim.run();
+  EXPECT_EQ(d.trigger_time(), 1u);
+}
+
+TEST(Network, SubNanosecondRemoteSendsStillOccupyTheNic) {
+  NetworkConfig c = test_config();
+  c.bandwidth_gbps = 16.0;  // 16 B/ns: an 8 B payload is 0.5 ns
+  Simulator sim;
+  Network net(sim, 2, c);
+  Event d1 = net.send(0, 1, 8, Event());
+  Event d2 = net.send(0, 1, 8, Event());
+  sim.run();
+  EXPECT_EQ(d1.trigger_time(), 1001u);  // inject [0,1) + latency
+  EXPECT_EQ(d2.trigger_time(), 1002u);  // queued behind the first
+}
+
 }  // namespace
 }  // namespace cr::sim

@@ -198,5 +198,41 @@ TEST(IntervalSet, UnionIdentityAndIdempotence) {
   EXPECT_TRUE(a.set_subtract(a).empty());
 }
 
+TEST(IntervalSet, FromPointsEmptyInput) {
+  EXPECT_TRUE(IntervalSet::from_points({}).empty());
+}
+
+TEST(IntervalSet, FromPointsAdjacentPointsCoalesce) {
+  auto s = IntervalSet::from_points({7, 8, 9});
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.bounds(), (Interval{7, 10}));
+}
+
+TEST(IntervalSet, FromPointsNearMaxValues) {
+  // The duplicate check used to compute `back().hi >= p + 1`, which
+  // wraps at p == UINT64_MAX - 1 only after the point is inserted (hi
+  // becomes UINT64_MAX); these must survive without overflow.
+  auto s = IntervalSet::from_points(
+      {UINT64_MAX - 2, UINT64_MAX - 1, UINT64_MAX - 2});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(UINT64_MAX - 1));
+  EXPECT_FALSE(s.contains(UINT64_MAX));
+  EXPECT_EQ(s.bounds(), (Interval{UINT64_MAX - 2, UINT64_MAX}));
+}
+
+TEST(IntervalSetDeath, MaxPointIsRejectedLoudly) {
+  // UINT64_MAX is unrepresentable as a half-open point ([MAX, MAX+1)
+  // wraps to [MAX, 0)); it used to be dropped silently, corrupting any
+  // set algebra downstream. Now it aborts.
+  EXPECT_DEATH(IntervalSet::from_points({UINT64_MAX}), "UINT64_MAX");
+  EXPECT_DEATH(
+      [] {
+        IntervalSet s;
+        s.add_point(UINT64_MAX);
+      }(),
+      "UINT64_MAX");
+}
+
 }  // namespace
 }  // namespace cr::support
