@@ -10,6 +10,7 @@
 // communication/computation ratio match the paper's problem; throughput
 // is reported in *paper-scale* points per second per node. See
 // EXPERIMENTS.md for the calibration table.
+#include <chrono>
 #include <cstdio>
 
 #include "apps/stencil/stencil.h"
@@ -57,9 +58,75 @@ double run_engine(uint32_t nodes, bool spmd) {
     exec::PreparedRun run =
         spmd ? exec::prepare_spmd(rt, app.program, cost, {})
              : exec::prepare_implicit(rt, app.program, cost, {});
-    return exec::to_seconds(run.run().makespan_ns);
+    const exec::ExecutionResult res = run.run();
+    bench::record_analysis(res);
+    return exec::to_seconds(res.makespan_ns);
   };
   return bench::steady_seconds(total, 2, 6);
+}
+
+// --selftime dependence study: the implicit master's dynamic dependence
+// analysis with the full tracker enabled, indexed vs exhaustive linear
+// scan. Virtual time is charged on pairs_scanned in both modes, so the
+// makespans must be bit-identical; the index only reduces how many exact
+// conflict tests (pairs_tested) the host performs.
+void dependence_study(exec::ScalingReport& analysis_report) {
+  if (!cr::bench::options().selftime) return;
+  const uint32_t nodes = cr::bench::node_counts().back();
+  struct StudyRun {
+    exec::ExecutionResult res;
+    double host_seconds = 0;
+  };
+  auto run_one = [&](bool linear) {
+    exec::CostModel cost = exec::CostModel::piz_daint();
+    cost.track_dependences = true;
+    Config cfg = make_config(nodes, 4);
+    rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
+    rt.deps().set_linear_scan(linear);
+    apps::stencil::App app = apps::stencil::build(rt, cfg);
+    for (auto& t : app.program.tasks) t.kernel = nullptr;
+    exec::PreparedRun run = exec::prepare_implicit(rt, app.program, cost, {});
+    const auto begin = std::chrono::steady_clock::now();
+    StudyRun out{run.run(), 0};
+    out.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    return out;
+  };
+  std::fprintf(stderr, "  [dependence study] %u nodes...\n", nodes);
+  StudyRun linear = run_one(true);
+  StudyRun indexed = run_one(false);
+  linear.res.analysis.host_seconds = linear.host_seconds;
+  indexed.res.analysis.host_seconds = indexed.host_seconds;
+  const bool same = linear.res.makespan_ns == indexed.res.makespan_ns;
+  const double drop =
+      indexed.res.analysis.dep_pairs_tested > 0
+          ? static_cast<double>(linear.res.analysis.dep_pairs_tested) /
+                static_cast<double>(indexed.res.analysis.dep_pairs_tested)
+          : 0;
+  std::printf(
+      "dependence study [implicit stencil, %u nodes, tracker on]\n"
+      "  linear scan:\n%s  indexed:\n%s"
+      "  pairs_tested reduction: %.1fx; makespans %s (%llu ns)\n\n",
+      nodes, linear.res.analysis.to_text().c_str(),
+      indexed.res.analysis.to_text().c_str(), drop,
+      same ? "identical" : "DIFFER",
+      static_cast<unsigned long long>(indexed.res.makespan_ns));
+  for (const auto* r : {&linear, &indexed}) {
+    exec::ScalingSeries s;
+    s.name = r == &linear ? "dep-study linear" : "dep-study indexed";
+    exec::ScalingPoint pt;
+    pt.nodes = nodes;
+    pt.seconds = exec::to_seconds(r->res.makespan_ns);
+    pt.work_per_node = kPaperPointsPerNode;
+    pt.iterations = 4;
+    pt.has_analysis = true;
+    pt.analysis = r->res.analysis;
+    pt.analysis.host_seconds = r->host_seconds;
+    s.points.push_back(pt);
+    analysis_report.series.push_back(std::move(s));
+  }
 }
 
 double run_mpi(uint32_t nodes, bool openmp) {
@@ -88,5 +155,7 @@ int main(int argc, char** argv) {
       "Figure 6: Stencil weak scaling (40k^2 points/node)",
       "10^6 points/s per node", 1e6, kPaperPointsPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
+  dependence_study(report);
+  cr::bench::write_analysis_json(report);
   return 0;
 }

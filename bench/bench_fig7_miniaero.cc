@@ -58,7 +58,9 @@ double run_engine(uint32_t nodes, bool spmd) {
     exec::PreparedRun run =
         spmd ? exec::prepare_spmd(rt, app.program, cost, {})
              : exec::prepare_implicit(rt, app.program, cost, {});
-    return exec::to_seconds(run.run().makespan_ns);
+    const exec::ExecutionResult res = run.run();
+    bench::record_analysis(res);
+    return exec::to_seconds(res.makespan_ns);
   };
   return cr::bench::steady_seconds(total, 2, 5);
 }
@@ -89,5 +91,6 @@ int main(int argc, char** argv) {
       "Figure 7: MiniAero weak scaling (512k cells/node)",
       "10^3 cells/s per node", 1e3, kPaperCellsPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
+  cr::bench::write_analysis_json(report);
   return 0;
 }

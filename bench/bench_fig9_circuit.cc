@@ -48,7 +48,9 @@ double run_engine(uint32_t nodes, bool spmd) {
     exec::PreparedRun run =
         spmd ? exec::prepare_spmd(rt, app.program, cost, {})
              : exec::prepare_implicit(rt, app.program, cost, {});
-    return exec::to_seconds(run.run().makespan_ns);
+    const exec::ExecutionResult res = run.run();
+    bench::record_analysis(res);
+    return exec::to_seconds(res.makespan_ns);
   };
   return cr::bench::steady_seconds(total, 2, 5);
 }
@@ -65,5 +67,6 @@ int main(int argc, char** argv) {
       "Figure 9: Circuit weak scaling (100k edges + 25k vertices/node)",
       "10^3 nodes/s per node", 1e3, kPaperNodesPerMachineNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
+  cr::bench::write_analysis_json(report);
   return 0;
 }

@@ -3,6 +3,7 @@
 // reference models, reported in the paper's throughput-per-node form.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -23,6 +24,12 @@ struct BenchOptions {
   // Prefix for trace artifacts; empty means tracing is disabled (the
   // default: runs record nothing and pay only a null-pointer check).
   std::string trace_path;
+  // --selftime: profile the *host-side* dynamic analysis (dependence
+  // index, aliasing memo, intersection cache) — wall-clock per point,
+  // counter blocks in the table, and a BENCH_analysis.json artifact.
+  // Purely observational: virtual makespans are identical either way.
+  bool selftime = false;
+  std::string analysis_path = "BENCH_analysis.json";
 };
 
 inline BenchOptions& options() {
@@ -30,7 +37,7 @@ inline BenchOptions& options() {
   return o;
 }
 
-// Parse the common bench flags (currently --trace[=<path>]).
+// Parse the common bench flags (--trace[=<path>], --selftime[=<path>]).
 inline void parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -40,8 +47,18 @@ inline void parse_args(int argc, char** argv) {
       if (options().trace_path.empty()) options().trace_path = "trace.json";
     } else if (a == "--trace") {
       options().trace_path = "trace.json";
+    } else if (a.rfind("--selftime=", 0) == 0) {
+      options().selftime = true;
+      options().analysis_path = a.substr(11);
+      if (options().analysis_path.empty()) {
+        options().analysis_path = "BENCH_analysis.json";
+      }
+    } else if (a == "--selftime") {
+      options().selftime = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace[=<path>]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace[=<path>]] [--selftime[=<path>]]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -57,6 +74,29 @@ struct LastBreakdown {
 inline LastBreakdown& last_breakdown() {
   static LastBreakdown b;
   return b;
+}
+
+// Analysis counters of the most recent engine run, published by the
+// bench's run function (record_analysis) and folded into the scaling
+// report by sweep() when --selftime is active.
+struct LastAnalysis {
+  bool valid = false;
+  exec::AnalysisStats stats;
+};
+
+inline LastAnalysis& last_analysis() {
+  static LastAnalysis a;
+  return a;
+}
+
+// Call after Engine::run() inside a bench's run function so sweep() can
+// attach the run's dynamic-analysis counters to the scaling point. With
+// repeated runs of one configuration (steady-state differencing), the
+// last — largest — run wins.
+inline void record_analysis(const exec::ExecutionResult& r) {
+  if (!options().selftime) return;
+  last_analysis().valid = true;
+  last_analysis().stats = r.analysis;
 }
 
 // RAII tracing for one engine run: attaches a Tracer to the runtime's
@@ -157,7 +197,18 @@ inline exec::ScalingReport sweep(const std::string& title,
       exec::ScalingPoint pt;
       pt.nodes = n;
       last_breakdown().valid = false;
+      last_analysis().valid = false;
+      const auto host_begin = std::chrono::steady_clock::now();
       pt.seconds = spec.run(n);
+      const double host_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_begin)
+              .count();
+      if (options().selftime && last_analysis().valid) {
+        pt.has_analysis = true;
+        pt.analysis = last_analysis().stats;
+        pt.analysis.host_seconds = host_seconds;
+      }
       if (last_breakdown().valid) {
         pt.has_breakdown = true;
         pt.compute_frac = last_breakdown().compute;
@@ -172,6 +223,40 @@ inline exec::ScalingReport sweep(const std::string& title,
     report.series.push_back(std::move(series));
   }
   return report;
+}
+
+// Write the --selftime artifact: one JSON object per recorded point with
+// the analysis counters and host wall-clock. No-op unless --selftime.
+inline void write_analysis_json(const exec::ScalingReport& report) {
+  if (!options().selftime) return;
+  FILE* f = std::fopen(options().analysis_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n",
+                 options().analysis_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"title\": \"%s\",\n  \"series\": [\n",
+               report.title.c_str());
+  for (size_t si = 0; si < report.series.size(); ++si) {
+    const exec::ScalingSeries& s = report.series[si];
+    std::fprintf(f, "    {\"name\": \"%s\", \"points\": [\n",
+                 s.name.c_str());
+    bool first = true;
+    for (const exec::ScalingPoint& p : s.points) {
+      if (!p.has_analysis) continue;
+      std::fprintf(f, "%s      {\"nodes\": %u, \"virtual_seconds\": %.9g, "
+                      "\"analysis\": %s}",
+                   first ? "" : ",\n", p.nodes, p.seconds,
+                   p.analysis.to_json().c_str());
+      first = false;
+    }
+    std::fprintf(f, "\n    ]}%s\n",
+                 si + 1 < report.series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "  analysis counters: %s\n",
+               options().analysis_path.c_str());
 }
 
 // Measure the steady-state per-iteration time of an engine execution by

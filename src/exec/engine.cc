@@ -23,7 +23,11 @@ constexpr uint32_t kMainEnv = UINT32_MAX;
 struct Engine::Impl {
   Impl(rt::Runtime& rt, const ir::Program& program, const CostModel& cost,
        ExecMode mode)
-      : rt_(rt), p_(program), cost_(cost), mode_(mode) {}
+      : isect_cache_(rt.forest()),
+        rt_(rt),
+        p_(program),
+        cost_(cost),
+        mode_(mode) {}
 
   ~Impl() {
     // If enable_trace() attached our own tracer to the simulator, detach
@@ -211,6 +215,12 @@ struct Engine::Impl {
   std::map<ir::IntersectId, std::vector<PairInfo>> tables_;
   std::map<ir::IntersectId, uint64_t> table_src_colors_;
   std::map<ir::IntersectId, uint64_t> table_complete_intervals_;
+  // Region geometry is immutable once the forest is built, so complete
+  // intersections and per-statement pair tables are computed once and
+  // reused across loop iterations / shards. Host-side only: the pair
+  // list (and its issue charges) is identical with or without the cache.
+  rt::IntersectionCache isect_cache_;
+  std::map<const ir::Stmt*, std::vector<PairInfo>> copy_pairs_cache_;
 
   // --- scalar reduction partials ------------------------------------------
 
@@ -450,14 +460,16 @@ struct Engine::Impl {
         read_pre(sy, exec_node, pre);
       }
       // Implicit mode: the master performs dynamic dependence analysis
-      // over the logical region tree; charge the real pairs tested.
+      // over the logical region tree. The virtual charge is the pairs an
+      // exhaustive scan tests (what the simulated master pays); the
+      // indexed tracker only changes how fast the host reproduces it.
       if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
-        const uint64_t before = rt_.deps().pairs_tested();
+        const uint64_t before = rt_.deps().pairs_scanned();
         rt::Requirement req{insts[k]->region, a.privilege, a.redop, a.fields};
         auto deps = rt_.deps().record(op_id_, req, done.event());
         pre.insert(pre.end(), deps.begin(), deps.end());
         issue_ns += cost_.dep_pair_ns *
-                    static_cast<double>(rt_.deps().pairs_tested() - before);
+                    static_cast<double>(rt_.deps().pairs_scanned() - before);
       }
     }
     // Phase 2: register as a user — writes first so a read-and-write use
@@ -653,8 +665,11 @@ struct Engine::Impl {
 
   // --- copies -----------------------------------------------------------------
 
-  std::vector<PairInfo> copy_pairs(const ir::Stmt& s) {
-    std::vector<PairInfo> pairs;
+  const std::vector<PairInfo>& copy_pairs(const ir::Stmt& s) {
+    if (s.isect != ir::kNoIntersect) return tables_.at(s.isect);
+    auto [it, inserted] = copy_pairs_cache_.try_emplace(&s);
+    if (!inserted) return it->second;
+    std::vector<PairInfo>& pairs = it->second;
     if (s.src_root != rt::kNoId) {
       const rt::PartitionNode& pn = forest().partition(s.copy_dst);
       for (uint64_t j = 0; j < pn.subregions.size(); ++j) {
@@ -671,16 +686,27 @@ struct Engine::Impl {
       }
       return pairs;
     }
-    if (s.isect != ir::kNoIntersect) return tables_.at(s.isect);
     // All-pairs form (paper §3.3's O(N^2) baseline; empty pairs still
-    // cost issue overhead).
+    // cost issue overhead, so every (i, j) keeps its PairInfo). The
+    // shallow prefilter only tells us which pairs need the exact
+    // interval merge; the rest get empty point sets without paying
+    // O(|src| * |dst|) complete intersections on the host.
     const rt::PartitionNode& ps = forest().partition(s.copy_src);
     const rt::PartitionNode& pd = forest().partition(s.copy_dst);
+    const auto shallow =
+        rt::shallow_intersections(forest(), s.copy_src, s.copy_dst);
+    size_t next = 0;  // shallow pairs arrive sorted by (src, dst) color
+    pairs.reserve(ps.subregions.size() * pd.subregions.size());
     for (uint64_t i = 0; i < ps.subregions.size(); ++i) {
       for (uint64_t j = 0; j < pd.subregions.size(); ++j) {
-        pairs.push_back({i, j,
-                         rt::complete_intersection(forest(), ps.subregions[i],
-                                                   pd.subregions[j])});
+        PairInfo pi{i, j, {}};
+        if (next < shallow.size() && shallow[next].src_color == i &&
+            shallow[next].dst_color == j) {
+          pi.points =
+              isect_cache_.complete(ps.subregions[i], pd.subregions[j]);
+          ++next;
+        }
+        pairs.push_back(std::move(pi));
       }
     }
     return pairs;
@@ -688,7 +714,7 @@ struct Engine::Impl {
 
   void exec_copy(const ir::Stmt& s, std::vector<Ctx>& ctxs,
                  uint32_t num_shards) {
-    const std::vector<PairInfo> pairs = copy_pairs(s);
+    const std::vector<PairInfo>& pairs = copy_pairs(s);
     const uint64_t src_colors =
         s.copy_src == rt::kNoId
             ? 1
@@ -749,20 +775,34 @@ struct Engine::Impl {
     write_pre(dsy, req.dst_node, pre);
     double issue_ns = cost_.copy_issue_ns;
     if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
-      // The master's dynamic analysis also covers runtime copies.
+      // The master's dynamic analysis also covers runtime copies. The
+      // logical requirement is the subregion whose points the pair copy
+      // actually moves — a copy through a root instance reads/writes
+      // only the opposite side's subregion points, and registering the
+      // whole root would leave a user that aliases every later tile
+      // operation (physical hazards on the root instance are already
+      // ordered by InstanceSync above).
+      const rt::RegionId src_logical =
+          s.src_root != rt::kNoId
+              ? forest().partition(s.copy_dst).subregions[pi.j]
+              : forest().partition(s.copy_src).subregions[pi.i];
+      const rt::RegionId dst_logical =
+          s.dst_root != rt::kNoId
+              ? forest().partition(s.copy_src).subregions[pi.i]
+              : forest().partition(s.copy_dst).subregions[pi.j];
       sim::UserEvent completion(sim());
-      const uint64_t before = rt_.deps().pairs_tested();
+      const uint64_t before = rt_.deps().pairs_scanned();
       ++op_id_;
-      rt::Requirement rr{req.src_region, rt::Privilege::kReadOnly,
+      rt::Requirement rr{src_logical, rt::Privilege::kReadOnly,
                          rt::ReduceOp::kSum, req.fields};
       auto d1 = rt_.deps().record(op_id_, rr, completion.event());
-      rt::Requirement wr{req.dst_region, rt::Privilege::kReadWrite,
+      rt::Requirement wr{dst_logical, rt::Privilege::kReadWrite,
                          rt::ReduceOp::kSum, req.fields};
       auto d2 = rt_.deps().record(op_id_, wr, completion.event());
       pre.insert(pre.end(), d1.begin(), d1.end());
       pre.insert(pre.end(), d2.begin(), d2.end());
       issue_ns += cost_.dep_pair_ns *
-                  static_cast<double>(rt_.deps().pairs_tested() - before);
+                  static_cast<double>(rt_.deps().pairs_scanned() - before);
       pre.push_back(charge(ctx, issue_ns, "issue:copy"));
       sim::Event delivered =
           rt_.copies().issue(req, sim::Event::merge(sim(), pre));
@@ -869,8 +909,8 @@ struct Engine::Impl {
       PairInfo pi;
       pi.i = pr.src_color;
       pi.j = pr.dst_color;
-      pi.points = rt::complete_intersection(
-          forest(), ps.subregions[pr.src_color], pd.subregions[pr.dst_color]);
+      pi.points = isect_cache_.complete(ps.subregions[pr.src_color],
+                                        pd.subregions[pr.dst_color]);
       complete_intervals += pi.points.interval_count();
       if (!pi.points.empty()) infos.push_back(std::move(pi));
     }
@@ -1094,6 +1134,26 @@ ExecutionResult Engine::run() {
   impl_->result_.bytes_moved = impl_->rt_.copies().bytes_moved();
   impl_->result_.messages = impl_->rt_.network().messages_sent();
   impl_->result_.dep_pairs_tested = impl_->rt_.deps().pairs_tested();
+  {
+    AnalysisStats& a = impl_->result_.analysis;
+    const rt::DependenceTracker& deps = impl_->rt_.deps();
+    a.dep_pairs_scanned = deps.pairs_scanned();
+    a.dep_pairs_tested = deps.pairs_tested();
+    a.dep_dependences = deps.dependences_found();
+    a.dep_index_queries = deps.index_queries();
+    a.dep_index_rebuilds = deps.index_rebuilds();
+    const rt::RegionForest::AliasCounters& c =
+        impl_->forest().alias_counters();
+    a.alias_queries = c.alias_queries;
+    a.alias_fast = c.alias_fast;
+    a.alias_cache_hits = c.alias_hits;
+    a.overlap_queries = c.overlap_queries;
+    a.overlap_static = c.overlap_static;
+    a.overlap_cache_hits = c.overlap_hits;
+    a.overlap_exact = c.overlap_exact;
+    a.isect_cache_hits = impl_->isect_cache_.hits();
+    a.isect_cache_misses = impl_->isect_cache_.misses();
+  }
   impl_->result_.control_busy_ns =
       impl_->rt_.machine()
           .proc(impl_->rt_.mapper().control_proc(0))

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "exec/cost_model.h"
+#include "exec/report.h"
 #include "ir/program.h"
 #include "rt/barrier.h"
 #include "rt/collective.h"
@@ -44,6 +45,10 @@ struct ExecutionResult {
   uint64_t dep_pairs_tested = 0;
   uint64_t intersection_pairs = 0;
   sim::Time control_busy_ns = 0;  // busy time of the node-0 control core
+  // Host-side dynamic-analysis counters (dependence index, aliasing
+  // memo, intersection cache); virtual time depends only on
+  // analysis.dep_pairs_scanned, never on the cache effectiveness.
+  AnalysisStats analysis;
 };
 
 class Engine {

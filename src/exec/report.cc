@@ -7,6 +7,69 @@
 
 namespace cr::exec {
 
+namespace {
+
+double rate(uint64_t part, uint64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0;
+}
+
+}  // namespace
+
+std::string AnalysisStats::to_text() const {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "  dependence: scanned=" << dep_pairs_scanned
+     << " tested=" << dep_pairs_tested << " ("
+     << std::setprecision(1) << dep_prefilter_ratio() * 100
+     << "% of exhaustive), found=" << dep_dependences
+     << ", index queries=" << dep_index_queries
+     << " rebuilds=" << dep_index_rebuilds << "\n";
+  os << "  aliasing:   queries=" << alias_queries << " (fast "
+     << std::setprecision(1) << rate(alias_fast, alias_queries) * 100
+     << "%, cached " << rate(alias_cache_hits, alias_queries) * 100
+     << "%)\n";
+  os << "  overlap:    queries=" << overlap_queries << " (static "
+     << std::setprecision(1) << rate(overlap_static, overlap_queries) * 100
+     << "%, cached " << rate(overlap_cache_hits, overlap_queries) * 100
+     << "%, exact merges=" << overlap_exact << ")\n";
+  os << "  intersect:  cache hits=" << isect_cache_hits
+     << " misses=" << isect_cache_misses << " (hit rate "
+     << std::setprecision(1)
+     << rate(isect_cache_hits, isect_cache_hits + isect_cache_misses) * 100
+     << "%)\n";
+  if (host_seconds >= 0) {
+    os << "  host wall-clock: " << std::setprecision(3) << host_seconds
+       << " s\n";
+  }
+  return os.str();
+}
+
+std::string AnalysisStats::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"dep_pairs_scanned\":" << dep_pairs_scanned
+     << ",\"dep_pairs_tested\":" << dep_pairs_tested
+     << ",\"dep_dependences\":" << dep_dependences
+     << ",\"dep_index_queries\":" << dep_index_queries
+     << ",\"dep_index_rebuilds\":" << dep_index_rebuilds
+     << ",\"alias_queries\":" << alias_queries
+     << ",\"alias_fast\":" << alias_fast
+     << ",\"alias_cache_hits\":" << alias_cache_hits
+     << ",\"overlap_queries\":" << overlap_queries
+     << ",\"overlap_static\":" << overlap_static
+     << ",\"overlap_cache_hits\":" << overlap_cache_hits
+     << ",\"overlap_exact\":" << overlap_exact
+     << ",\"isect_cache_hits\":" << isect_cache_hits
+     << ",\"isect_cache_misses\":" << isect_cache_misses;
+  if (host_seconds >= 0) {
+    os << ",\"host_seconds\":" << std::setprecision(6) << std::fixed
+       << host_seconds;
+  }
+  os << "}";
+  return os.str();
+}
+
 double ScalingSeries::efficiency_at(uint32_t nodes) const {
   const ScalingPoint* base = nullptr;
   const ScalingPoint* at = nullptr;
@@ -82,6 +145,15 @@ std::string ScalingReport::to_table() const {
         os << std::setw(30) << cell.str();
       }
       os << "\n";
+    }
+  }
+  // Analysis appendix: dynamic-analysis counters per recorded point (the
+  // --selftime instrumentation of the dependence/aliasing hot path).
+  for (const ScalingSeries& s : series) {
+    for (const ScalingPoint& p : s.points) {
+      if (!p.has_analysis) continue;
+      os << "\nanalysis [" << s.name << ", " << p.nodes << " nodes]\n"
+         << p.analysis.to_text();
     }
   }
   return os.str();

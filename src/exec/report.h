@@ -12,6 +12,50 @@
 
 namespace cr::exec {
 
+// Host-side dynamic-analysis work of one execution: how much dependence
+// analysis, region aliasing, and intersection work the runtime actually
+// performed, and how well the acceleration structures absorbed it. The
+// virtual-time charge is always based on dep_pairs_scanned (what the
+// simulated implicit master pays); the other counters measure only this
+// reproduction's host cost. Filled from ExecutionResult by Engine::run()
+// and rendered by the benches' --selftime analysis block.
+struct AnalysisStats {
+  // Dependence tracker (rt::DependenceTracker).
+  uint64_t dep_pairs_scanned = 0;  // exhaustive-scan pairs (charge basis)
+  uint64_t dep_pairs_tested = 0;   // exact conflict tests actually run
+  uint64_t dep_dependences = 0;
+  uint64_t dep_index_queries = 0;
+  uint64_t dep_index_rebuilds = 0;
+  // Region-forest aliasing (rt::RegionForest memo).
+  uint64_t alias_queries = 0;
+  uint64_t alias_fast = 0;       // resolved by an O(1) structural rule
+  uint64_t alias_cache_hits = 0;
+  uint64_t overlap_queries = 0;
+  uint64_t overlap_static = 0;   // resolved without interval data
+  uint64_t overlap_cache_hits = 0;
+  uint64_t overlap_exact = 0;    // interval merges actually performed
+  // Complete-intersection cache (rt::IntersectionCache).
+  uint64_t isect_cache_hits = 0;
+  uint64_t isect_cache_misses = 0;
+
+  // Host wall-clock of the run, seconds; < 0 when not measured (set by
+  // the bench harness under --selftime, not by the engine).
+  double host_seconds = -1.0;
+
+  // Prefilter effectiveness: fraction of exhaustive pairs skipped.
+  double dep_prefilter_ratio() const {
+    return dep_pairs_scanned > 0
+               ? static_cast<double>(dep_pairs_tested) /
+                     static_cast<double>(dep_pairs_scanned)
+               : 0;
+  }
+
+  // Multi-line human-readable block (indented two spaces).
+  std::string to_text() const;
+  // One flat JSON object (no trailing newline).
+  std::string to_json() const;
+};
+
 struct ScalingPoint {
   uint32_t nodes = 0;
   double seconds = 0;           // virtual seconds for the measured window
@@ -25,6 +69,11 @@ struct ScalingPoint {
   double copy_frac = 0;
   double sync_frac = 0;
   double idle_frac = 0;
+
+  // Analysis counters of the run behind this point (populated when the
+  // bench recorded them); rendered as an appendix table by to_table().
+  bool has_analysis = false;
+  AnalysisStats analysis;
 
   // elements processed per second per node
   double throughput_per_node() const {

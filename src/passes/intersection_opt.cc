@@ -1,6 +1,8 @@
 #include "passes/intersection_opt.h"
 
-#include <map>
+#include <unordered_map>
+
+#include "support/hash.h"
 
 namespace cr::passes {
 
@@ -39,7 +41,11 @@ class IntersectionTagger {
   }
 
   ir::Program& program_;
-  std::map<std::pair<rt::PartitionId, rt::PartitionId>, ir::IntersectId>
+  // On the per-fragment compile path: O(1) lookups, keyed by the copy's
+  // (src, dst) partition pair. Intersect ids are allocated in first-seen
+  // order, so hashing does not perturb the emitted table order.
+  std::unordered_map<std::pair<rt::PartitionId, rt::PartitionId>,
+                     ir::IntersectId, support::PairHash>
       tables_;
   IntersectionOptResult result_;
 };

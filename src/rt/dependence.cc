@@ -11,52 +11,130 @@ std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
                                                   sim::Event completion) {
   std::vector<sim::Event> preconditions;
   const RegionNode& node = forest_->region(req.region);
+  const support::IntervalSet& pts = node.ispace.points();
+  const bool can_prune = privilege_writes(req.privilege);
+  support::Interval query{0, 0};
+  if (!pts.empty()) query = pts.bounds();
+
   for (FieldId f : req.fields) {
-    auto& list = users_[{node.root, f}];
-    std::vector<User> kept;
-    kept.reserve(list.size() + 1);
-    for (User& u : list) {
-      // An operation never depends on itself (e.g. a copy registering
-      // both its read and write requirements).
-      if (u.op_id == op_id) {
-        kept.push_back(std::move(u));
-        continue;
+    FieldState& st = users_[{node.root, f}];
+    // The exhaustive scan tests every live non-self user; charge that to
+    // the simulated master regardless of what the index skips.
+    const uint64_t self_live = st.last_op == op_id ? st.last_op_live : 0;
+    pairs_scanned_ += st.alive - self_live;
+
+    // Candidate slots, in insertion order. The geometric candidate set
+    // is a superset of every exactly-overlapping user (bounding extents
+    // are conservative), so the conflicts found — and the epochs pruned
+    // — match the linear scan's exactly.
+    cand_.clear();
+    if (linear_) {
+      for (size_t i = 0; i < st.slots.size(); ++i) {
+        cand_.push_back(static_cast<uint32_t>(i));
       }
+    } else if (!pts.empty()) {
+      ++index_queries_;
+      hits_.clear();
+      st.tree.query(query, hits_);
+      cand_.assign(hits_.begin(), hits_.end());
+      for (size_t i = st.indexed_end; i < st.slots.size(); ++i) {
+        const support::Interval& b = st.slots[i].bounds;
+        if (b.lo < query.hi && query.lo < b.hi) {
+          cand_.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      std::sort(cand_.begin(), cand_.end());
+    }
+
+    for (uint32_t idx : cand_) {
+      User& u = st.slots[idx];
+      // Tombstones, and an operation never depending on itself (e.g. a
+      // copy registering both its read and write requirements).
+      if (!u.alive || u.op_id == op_id) continue;
       ++pairs_tested_;
       const bool conflict =
           privileges_conflict(u.privilege, u.redop, req.privilege,
                               req.redop) &&
           forest_->may_alias(u.region, req.region) &&
           forest_->overlaps_exact(u.region, req.region);
-      if (conflict) {
-        ++dependences_found_;
+      if (!conflict) continue;
+      ++dependences_found_;
+      // One precondition per predecessor: the same completion reached
+      // via several fields would only make Event::merge re-wait on it.
+      if (std::find(preconditions.begin(), preconditions.end(),
+                    u.completion) == preconditions.end()) {
         preconditions.push_back(u.completion);
-        // Epoch pruning: a writer that covers a prior user transitively
-        // orders every later conflicting operation, so the prior user can
-        // retire. Only writers dominate (a reader covering a writer must
-        // not hide it from later readers).
-        if (privilege_writes(req.privilege) &&
-            forest_->region(req.region)
-                .ispace.points()
-                .contains_all(forest_->region(u.region).ispace.points())) {
-          continue;  // drop u
-        }
       }
-      kept.push_back(std::move(u));
+      // Epoch pruning: a writer that covers a prior user transitively
+      // orders every later conflicting operation, so the prior user can
+      // retire. Only writers dominate (a reader covering a writer must
+      // not hide it from later readers).
+      if (can_prune &&
+          pts.contains_all(forest_->region(u.region).ispace.points())) {
+        u.alive = false;
+        --st.alive;
+        ++st.dead;
+      }
     }
-    kept.push_back(
-        User{op_id, req.privilege, req.redop, req.region, completion});
-    list = std::move(kept);
+
+    User nu;
+    nu.op_id = op_id;
+    nu.privilege = req.privilege;
+    nu.redop = req.redop;
+    nu.region = req.region;
+    nu.completion = completion;
+    nu.bounds = query;
+    st.slots.push_back(std::move(nu));
+    ++st.alive;
+    if (st.last_op == op_id) {
+      ++st.last_op_live;
+    } else {
+      st.last_op = op_id;
+      st.last_op_live = 1;
+    }
+    maybe_rebuild(st);
   }
-  // Duplicate events (same predecessor via multiple fields) are harmless:
-  // Event::merge tolerates repeats.
   return preconditions;
+}
+
+void DependenceTracker::maybe_rebuild(FieldState& st) {
+  // Staleness = users the index doesn't cover well: appends past
+  // indexed_end (scanned linearly per query) plus tombstones (returned
+  // by queries, then skipped). Rebuilding once staleness reaches an
+  // eighth of the live list amortizes to O(log n) per record while
+  // bounding the linear tail scan to alive/8 cheap bounds checks.
+  const uint64_t stale =
+      static_cast<uint64_t>(st.slots.size() - st.indexed_end) + st.dead;
+  if (stale <= 64 || stale * 8 < st.alive) return;
+  if (st.dead > 0) {
+    std::erase_if(st.slots, [](const User& u) { return !u.alive; });
+    st.dead = 0;
+  }
+  CR_DCHECK(st.slots.size() == st.alive);
+  if (linear_) {
+    // Compaction only (bounds memory); the reference mode never queries.
+    st.indexed_end = 0;
+    return;
+  }
+  std::vector<IntervalTree::Entry> entries;
+  entries.reserve(st.slots.size());
+  for (size_t i = 0; i < st.slots.size(); ++i) {
+    if (!st.slots[i].bounds.empty()) {
+      entries.push_back({st.slots[i].bounds, i});
+    }
+  }
+  st.tree = IntervalTree(std::move(entries));
+  st.indexed_end = st.slots.size();
+  ++index_rebuilds_;
 }
 
 void DependenceTracker::reset() {
   users_.clear();
   pairs_tested_ = 0;
+  pairs_scanned_ = 0;
   dependences_found_ = 0;
+  index_queries_ = 0;
+  index_rebuilds_ = 0;
 }
 
 }  // namespace cr::rt

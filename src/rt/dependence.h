@@ -10,14 +10,30 @@
 // pruning), which keeps the lists short for the common access patterns.
 //
 // This analysis is exactly the per-launch work a single control thread
-// must serialize in the implicit model; `pairs_tested` feeds the cost
-// model with the real amount of analysis performed.
+// must serialize in the implicit model. Two counters separate the
+// *simulated* cost from the *host* cost of reproducing it:
+//
+//  - pairs_scanned(): what an exhaustive scan over the live user lists
+//    would test. This is the virtual-time cost basis fed to the cost
+//    model — it models the implicit master and must not change when the
+//    host-side analysis gets faster.
+//  - pairs_tested(): exact conflict tests this implementation actually
+//    ran. The default indexed mode keeps an interval tree over each user
+//    list's bounding extents, so a new requirement only tests geometric
+//    candidates and pairs_tested() drops far below pairs_scanned() on
+//    mostly-disjoint access patterns.
+//
+// The indexed and linear modes find the identical dependence set in the
+// identical order and prune the identical epochs: a user whose bounding
+// extent misses the requirement's cannot overlap it exactly, so the
+// geometric candidate set is a superset of every conflicting user.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "rt/intersect.h"
 #include "rt/task.h"
 #include "sim/event.h"
 
@@ -27,17 +43,34 @@ class DependenceTracker {
  public:
   explicit DependenceTracker(const RegionForest& forest) : forest_(&forest) {}
 
+  // Fall back to the seed's exhaustive linear scan (reference semantics
+  // for property tests and ablations). Toggle before recording begins or
+  // right after reset(); the two modes return identical dependences and
+  // identical pairs_scanned(), and differ only in pairs_tested() and
+  // host time.
+  void set_linear_scan(bool linear) { linear_ = linear; }
+  bool linear_scan() const { return linear_; }
+
   // Record an operation's use of a region; returns the completion events
-  // of conflicting predecessors. `completion` is the new operation's own
-  // completion event.
+  // of conflicting predecessors (deduplicated: a predecessor reached via
+  // several fields appears once). `completion` is the new operation's
+  // own completion event. Requirements of one operation must be recorded
+  // contiguously (no interleaving with other operations), which the
+  // engine's sequential issue loop guarantees.
   std::vector<sim::Event> record(uint64_t op_id, const Requirement& req,
                                  sim::Event completion);
 
   // Clear all user lists (between independent executions).
   void reset();
 
+  // Exact conflict tests performed by this implementation.
   uint64_t pairs_tested() const { return pairs_tested_; }
+  // Pairs an exhaustive linear scan would have tested (virtual-time cost
+  // basis; identical in both modes).
+  uint64_t pairs_scanned() const { return pairs_scanned_; }
   uint64_t dependences_found() const { return dependences_found_; }
+  uint64_t index_queries() const { return index_queries_; }
+  uint64_t index_rebuilds() const { return index_rebuilds_; }
 
  private:
   struct User {
@@ -46,13 +79,44 @@ class DependenceTracker {
     ReduceOp redop = ReduceOp::kSum;
     RegionId region = kNoId;
     sim::Event completion;
+    support::Interval bounds;  // bounding extent of the region's points
+                               // ({0, 0} for an empty region: matches no
+                               // query, exactly as it overlaps nothing)
+    bool alive = true;
   };
+
+  // Per-(root, field) user list. Users append in issue order and retire
+  // in place (tombstones), so a slot index is an insertion timestamp:
+  // candidate sets sorted by index reproduce the linear scan's order
+  // exactly. The interval tree indexes the prefix [0, indexed_end);
+  // younger users are scanned linearly until enough staleness (pending
+  // appends + tombstones) accumulates to amortize a rebuild.
+  struct FieldState {
+    std::vector<User> slots;
+    IntervalTree tree{std::vector<IntervalTree::Entry>{}};
+    size_t indexed_end = 0;
+    uint64_t alive = 0;
+    uint64_t dead = 0;
+    // Self-requirement tracking: live entries of the most recent
+    // recording operation (an operation never depends on itself, and the
+    // exhaustive scan skips such entries without counting them).
+    uint64_t last_op = UINT64_MAX;
+    uint64_t last_op_live = 0;
+  };
+
+  void maybe_rebuild(FieldState& st);
 
   const RegionForest* forest_;
   // Keyed by (tree root, field).
-  std::map<std::pair<RegionId, FieldId>, std::vector<User>> users_;
+  std::map<std::pair<RegionId, FieldId>, FieldState> users_;
+  std::vector<uint32_t> cand_;   // scratch: candidate slot indices
+  std::vector<uint64_t> hits_;   // scratch: raw interval-tree payloads
+  bool linear_ = false;
   uint64_t pairs_tested_ = 0;
+  uint64_t pairs_scanned_ = 0;
   uint64_t dependences_found_ = 0;
+  uint64_t index_queries_ = 0;
+  uint64_t index_rebuilds_ = 0;
 };
 
 }  // namespace cr::rt

@@ -58,6 +58,7 @@ PartitionId RegionForest::create_partition(RegionId parent,
     sub.fields = regions_[parent].fields;
     sub.root = regions_[parent].root;
     sub.parent = pid;
+    sub.depth = regions_[parent].depth + 1;
     sub.color = color;
     sub.name = pnode.name + "[" + std::to_string(color) + "]";
     regions_.push_back(std::move(sub));
@@ -97,7 +98,71 @@ std::vector<RegionForest::PathStep> RegionForest::path_to_root(
   return path;
 }
 
+RegionForest::Relation RegionForest::relation_walk(RegionId a,
+                                                   RegionId b) const {
+  // Lift the deeper region to the shallower's depth; arriving at the
+  // other region means ancestor/descendant.
+  RegionId x = a, y = b;
+  if (regions_[x].depth < regions_[y].depth) std::swap(x, y);
+  while (regions_[x].depth > regions_[y].depth) {
+    x = partitions_[regions_[x].parent].parent;
+  }
+  if (x == y) return Relation::kAncestor;
+  // Walk up in lockstep until the paths meet (at the LCA region at the
+  // latest, the shared tree root). The steps just below the meeting
+  // point decide (paper §2.3): the same partition with different colors
+  // is disjoint iff the partition is; different partitions of one
+  // region prove nothing.
+  while (true) {
+    const PartitionId px = regions_[x].parent;
+    const PartitionId py = regions_[y].parent;
+    x = partitions_[px].parent;
+    y = partitions_[py].parent;
+    if (x == y) {
+      if (px != py) return Relation::kDynamic;
+      return partitions_[px].disjoint ? Relation::kDisjoint
+                                      : Relation::kDynamic;
+    }
+  }
+}
+
+RegionForest::Relation RegionForest::relation(RegionId a, RegionId b,
+                                              uint64_t& cache_hits) const {
+  const uint64_t key =
+      support::pack_pair32(std::min(a, b), std::max(a, b));
+  uint8_t& slot = pair_cache_[key];
+  if ((slot & 3u) != 0) {
+    ++cache_hits;
+    return static_cast<Relation>(slot & 3u);
+  }
+  const Relation r = relation_walk(a, b);
+  slot = static_cast<uint8_t>(slot | static_cast<uint8_t>(r));
+  return r;
+}
+
 bool RegionForest::may_alias(RegionId a, RegionId b) const {
+  CR_CHECK(a < regions_.size() && b < regions_.size());
+  ++counters_.alias_queries;
+  if (a == b) {
+    ++counters_.alias_fast;
+    return true;
+  }
+  const RegionNode& na = regions_[a];
+  const RegionNode& nb = regions_[b];
+  if (na.root != nb.root) {  // separate trees
+    ++counters_.alias_fast;
+    return false;
+  }
+  if (na.parent != kNoId && na.parent == nb.parent) {
+    // Siblings (colors differ since a != b): disjoint iff the shared
+    // partition is — no walk, no cache entry needed.
+    ++counters_.alias_fast;
+    return !partitions_[na.parent].disjoint;
+  }
+  return relation(a, b, counters_.alias_hits) != Relation::kDisjoint;
+}
+
+bool RegionForest::may_alias_uncached(RegionId a, RegionId b) const {
   CR_CHECK(a < regions_.size() && b < regions_.size());
   if (a == b) return true;
   if (regions_[a].root != regions_[b].root) return false;  // separate trees
@@ -120,7 +185,65 @@ bool RegionForest::may_alias(RegionId a, RegionId b) const {
 }
 
 bool RegionForest::overlaps_exact(RegionId a, RegionId b) const {
-  return region(a).ispace.points().overlaps(region(b).ispace.points());
+  CR_CHECK(a < regions_.size() && b < regions_.size());
+  ++counters_.overlap_queries;
+  const RegionNode& na = regions_[a];
+  const RegionNode& nb = regions_[b];
+  if (a == b) {
+    ++counters_.overlap_static;
+    return !na.ispace.empty();
+  }
+  if (na.root != nb.root) {
+    ++counters_.overlap_static;
+    return false;
+  }
+  uint64_t relation_hits = 0;  // folded into overlap_hits only when the
+                               // relation alone answers the query
+  const Relation r = relation(a, b, relation_hits);
+  if (r == Relation::kDisjoint) {
+    // The partition's static disjointness claim (debug-verified at
+    // creation) proves the index spaces share no elements.
+    counters_.overlap_static += relation_hits == 0;
+    counters_.overlap_hits += relation_hits;
+    return false;
+  }
+  if (r == Relation::kAncestor) {
+    // The descendant's elements are a subset of the ancestor's: they
+    // overlap iff the descendant is non-empty.
+    counters_.overlap_static += relation_hits == 0;
+    counters_.overlap_hits += relation_hits;
+    return !(na.depth >= nb.depth ? na : nb).ispace.empty();
+  }
+  // Genuinely dynamic pair: memoized exact interval test.
+  const uint64_t key =
+      support::pack_pair32(std::min(a, b), std::max(a, b));
+  uint8_t& slot = pair_cache_[key];
+  if ((slot & 4u) != 0) {
+    ++counters_.overlap_hits;
+    return (slot & 8u) != 0;
+  }
+  ++counters_.overlap_exact;
+  const support::IntervalSet& sa = na.ispace.points();
+  const support::IntervalSet& sb = nb.ispace.points();
+  bool overlap = false;
+  if (!sa.empty() && !sb.empty()) {
+    // Bounding-interval precheck skips the linear merge for far-apart
+    // sets; bounds() is O(1).
+    const support::Interval ba = sa.bounds();
+    const support::Interval bb = sb.bounds();
+    overlap = ba.lo < bb.hi && bb.lo < ba.hi && sa.overlaps(sb);
+  }
+  slot = static_cast<uint8_t>(slot | 4u | (overlap ? 8u : 0u));
+  return overlap;
+}
+
+bool RegionForest::overlaps_exact_uncached(RegionId a, RegionId b) const {
+  const RegionNode& na = region(a);
+  const RegionNode& nb = region(b);
+  // Distinct trees are distinct element name spaces: coordinates may
+  // coincide numerically but never denote the same data.
+  if (na.root != nb.root) return false;
+  return na.ispace.points().overlaps(nb.ispace.points());
 }
 
 bool RegionForest::partitions_may_alias(PartitionId p, PartitionId q) const {

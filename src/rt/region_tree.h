@@ -9,16 +9,26 @@
 // different colors, the regions are provably disjoint, otherwise they may
 // alias. An exact (dynamic) overlap test is also provided for
 // verification and for the runtime's dependence analysis.
+//
+// Both queries sit on the dependence-analysis hot path (one pair test
+// per prior user per launched task), so they are memoized: the forest is
+// append-only — region geometry never changes after creation — which
+// makes every cached answer valid forever (no invalidation). Static
+// O(1) fast paths (same region, different trees, siblings of one
+// partition, ancestor/descendant detected by the depth-lockstep walk)
+// answer most pairs without touching the cache or any interval data.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "rt/field.h"
 #include "rt/index_space.h"
+#include "support/hash.h"
 
 namespace cr::rt {
 
@@ -32,6 +42,7 @@ struct RegionNode {
   std::shared_ptr<FieldSpace> fields;
   RegionId root = kNoId;            // root region of this tree
   PartitionId parent = kNoId;       // partition above (kNoId for roots)
+  uint32_t depth = 0;               // regions above this one (root = 0)
   uint64_t color = 0;               // color under the parent partition
   std::vector<PartitionId> partitions;  // partitions of this region
   std::string name;
@@ -67,9 +78,34 @@ class RegionForest {
   size_t num_partitions() const { return partitions_.size(); }
 
   // Paper §2.3: symbolic LCA test. True unless the tree proves disjoint.
+  // Memoized; O(1) for pairs resolved by a static fast path or a cache
+  // hit, one O(depth) walk on a cold genuinely-dynamic pair.
   bool may_alias(RegionId a, RegionId b) const;
-  // Exact dynamic test on index spaces.
+  // Exact dynamic test on index spaces. Memoized; statically disjoint or
+  // ancestor/descendant pairs never touch interval data, and each
+  // remaining pair pays the exact interval merge at most once.
   bool overlaps_exact(RegionId a, RegionId b) const;
+
+  // Uncached reference implementations (the seed's path-vector LCA walk
+  // and the direct interval test). Used by property tests to validate
+  // the memoized versions and by nothing on the hot path.
+  bool may_alias_uncached(RegionId a, RegionId b) const;
+  bool overlaps_exact_uncached(RegionId a, RegionId b) const;
+
+  // Query/hit counters for the memoized tests, reported by the engine's
+  // analysis-stats block. `fast`/`static` count pairs resolved by an
+  // O(1) structural rule, `hits` count cache hits, `exact` counts
+  // interval merges actually performed.
+  struct AliasCounters {
+    uint64_t alias_queries = 0;
+    uint64_t alias_fast = 0;
+    uint64_t alias_hits = 0;
+    uint64_t overlap_queries = 0;
+    uint64_t overlap_static = 0;
+    uint64_t overlap_hits = 0;
+    uint64_t overlap_exact = 0;
+  };
+  const AliasCounters& alias_counters() const { return counters_; }
 
   // Partition-level may-alias: could any subregion of p overlap any
   // subregion of q? Used by the data replication pass. For p == q this
@@ -89,6 +125,21 @@ class RegionForest {
     uint64_t color;
   };
   std::vector<PathStep> path_to_root(RegionId r) const;
+
+  // Structural relation of two distinct regions in one tree, computed by
+  // an allocation-free depth-lockstep walk and memoized per pair.
+  enum class Relation : uint8_t {
+    kDisjoint = 1,  // provably disjoint (disjoint partition divergence)
+    kAncestor = 2,  // one contains the other's index space
+    kDynamic = 3,   // may alias; only interval data can decide overlap
+  };
+  Relation relation(RegionId a, RegionId b, uint64_t& cache_hits) const;
+  Relation relation_walk(RegionId a, RegionId b) const;
+
+  // Memo for (min, max) region pairs. Low 2 bits: Relation (0 = not yet
+  // computed). Bit 2: exact overlap known. Bit 3: exact overlap value.
+  mutable std::unordered_map<uint64_t, uint8_t, support::U64Hash> pair_cache_;
+  mutable AliasCounters counters_;
 
   // Deques: node references (and the IndexSpace objects inside them) stay
   // stable while the forest grows — physical instances, executors, and

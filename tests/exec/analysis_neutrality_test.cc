@@ -1,0 +1,82 @@
+// Virtual-time neutrality of the analysis fast path: tracing, the
+// indexed dependence tracker, and the memoization caches change how fast
+// the host computes the schedule — never the schedule itself. Every
+// combination of {traced, untraced} x {indexed, linear-scan} must
+// produce bit-identical simulated makespans and output data.
+#include <gtest/gtest.h>
+
+#include "exec/spmd_exec.h"
+#include "testing/fig2.h"
+
+namespace cr::exec {
+namespace {
+
+struct Observed {
+  sim::Time makespan = 0;
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+  uint64_t dependences = 0;
+  std::vector<double> data;
+};
+
+Observed run_fig2(bool spmd, bool traced, bool linear_scan) {
+  CostModel cost;
+  cost.track_dependences = true;
+  rt::Runtime rt(runtime_config(4, 4, cost, /*real_data=*/true));
+  rt.deps().set_linear_scan(linear_scan);
+  testing::Fig2 fig(rt.forest(), 48, 8, 3);
+  PreparedRun run = spmd ? prepare_spmd(rt, fig.program, cost, {})
+                         : prepare_implicit(rt, fig.program, cost, {});
+  if (traced) run.engine->enable_trace();
+  ExecutionResult res = run.run();
+  Observed out;
+  out.makespan = res.makespan_ns;
+  out.bytes = res.bytes_moved;
+  out.messages = res.messages;
+  out.dependences = res.analysis.dep_dependences;
+  for (uint64_t p = 0; p < 48; ++p) {
+    out.data.push_back(run.engine->read_root_f64(fig.a, fig.fa, p));
+    out.data.push_back(run.engine->read_root_f64(fig.b, fig.fb, p));
+  }
+  return out;
+}
+
+TEST(AnalysisNeutrality, ImplicitInvariantAcrossTracingAndIndexing) {
+  const Observed ref =
+      run_fig2(/*spmd=*/false, /*traced=*/false, /*linear_scan=*/true);
+  EXPECT_GT(ref.dependences, 0u);  // the analysis actually ran
+  for (const bool traced : {false, true}) {
+    for (const bool linear : {true, false}) {
+      if (!traced && linear) continue;  // the reference itself
+      const Observed got = run_fig2(false, traced, linear);
+      EXPECT_EQ(got.makespan, ref.makespan)
+          << "traced=" << traced << " linear=" << linear;
+      EXPECT_EQ(got.bytes, ref.bytes);
+      EXPECT_EQ(got.messages, ref.messages);
+      EXPECT_EQ(got.data, ref.data);
+      // Same schedule implies the same dependences were discovered.
+      EXPECT_EQ(got.dependences, ref.dependences);
+    }
+  }
+}
+
+TEST(AnalysisNeutrality, SpmdInvariantAcrossTracingAndIndexing) {
+  // SPMD execution exercises the intersection and copy-pair caches; the
+  // dependence tracker mode must be equally irrelevant to its timeline.
+  const Observed ref =
+      run_fig2(/*spmd=*/true, /*traced=*/false, /*linear_scan=*/true);
+  for (const bool traced : {false, true}) {
+    for (const bool linear : {true, false}) {
+      if (!traced && linear) continue;
+      const Observed got = run_fig2(true, traced, linear);
+      EXPECT_EQ(got.makespan, ref.makespan)
+          << "traced=" << traced << " linear=" << linear;
+      EXPECT_EQ(got.bytes, ref.bytes);
+      EXPECT_EQ(got.messages, ref.messages);
+      EXPECT_EQ(got.data, ref.data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cr::exec

@@ -6,6 +6,7 @@
 
 #include "rt/partition.h"
 #include "sim/simulator.h"
+#include "support/rng.h"
 
 namespace cr::rt {
 namespace {
@@ -166,10 +167,86 @@ TEST(Dependence, StatsCountPairs) {
   deps.record(1, f.req(f.r, Privilege::kReadWrite), e1.event());
   deps.record(2, f.req(f.r, Privilege::kReadWrite), e2.event());
   EXPECT_EQ(deps.pairs_tested(), 1u);
+  EXPECT_EQ(deps.pairs_scanned(), 1u);
   EXPECT_EQ(deps.dependences_found(), 1u);
   deps.reset();
   EXPECT_EQ(deps.pairs_tested(), 0u);
+  EXPECT_EQ(deps.pairs_scanned(), 0u);
 }
+
+// Property: the indexed tracker must return the identical precondition
+// vectors (same events, same order), prune the identical epochs, and
+// charge the identical pairs_scanned as the exhaustive linear scan, on
+// randomized launch sequences over a randomized forest — while testing
+// no more pairs than the scan would.
+class DependenceIndexEquivalence : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DependenceIndexEquivalence, IndexedMatchesLinearScan) {
+  support::Rng rng(GetParam() * 131 + 11);
+  sim::Simulator sim;
+  RegionForest forest;
+  auto fields = std::make_shared<FieldSpace>();
+  const FieldId fv = fields->add_field("v");
+  const FieldId fw = fields->add_field("w");
+  const RegionId root =
+      forest.create_region(IndexSpace::dense(256), fields);
+  std::vector<RegionId> regions{root};
+  for (int step = 0; step < 6; ++step) {
+    RegionId target = regions[rng.next_below(regions.size())];
+    if (forest.region(target).ispace.size() < 8) continue;
+    PartitionId p;
+    if (rng.next_bool()) {
+      p = partition_equal(forest, target, 2 + rng.next_below(6));
+    } else {
+      const uint64_t shift = 1 + rng.next_below(16);
+      PartitionId base = partition_equal(forest, target, 4);
+      p = partition_image(
+          forest, target, base,
+          [&, shift](uint64_t x, std::vector<uint64_t>& out) {
+            out.push_back(x + shift);
+          });
+    }
+    for (RegionId sub : forest.partition(p).subregions) {
+      regions.push_back(sub);
+    }
+  }
+
+  DependenceTracker linear(forest);
+  linear.set_linear_scan(true);
+  DependenceTracker indexed(forest);
+  ASSERT_FALSE(indexed.linear_scan());
+
+  const Privilege privs[] = {Privilege::kReadOnly, Privilege::kReadWrite,
+                             Privilege::kWriteDiscard, Privilege::kReduce};
+  std::vector<sim::UserEvent> events;
+  events.reserve(400);
+  for (uint64_t op = 1; op <= 400; ++op) {
+    // Some operations (like copies) record several requirements.
+    const int nreqs = 1 + static_cast<int>(rng.next_below(2));
+    for (int k = 0; k < nreqs; ++k) {
+      Requirement req;
+      req.region = regions[rng.next_below(regions.size())];
+      req.privilege = privs[rng.next_below(4)];
+      req.redop = rng.next_bool() ? ReduceOp::kSum : ReduceOp::kMin;
+      req.fields = rng.next_bool(0.8) ? std::vector<FieldId>{fv}
+                                      : std::vector<FieldId>{fv, fw};
+      events.emplace_back(sim);
+      const sim::Event done = events.back().event();
+      auto d1 = linear.record(op, req, done);
+      auto d2 = indexed.record(op, req, done);
+      ASSERT_EQ(d1, d2) << "op " << op << " (seed " << GetParam() << ")";
+    }
+  }
+  EXPECT_EQ(linear.dependences_found(), indexed.dependences_found());
+  EXPECT_EQ(linear.pairs_scanned(), indexed.pairs_scanned());
+  EXPECT_EQ(linear.pairs_tested(), linear.pairs_scanned());
+  EXPECT_LE(indexed.pairs_tested(), linear.pairs_tested());
+  EXPECT_GT(indexed.index_queries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DependenceIndexEquivalence,
+                         ::testing::Range<uint64_t>(0, 25));
 
 }  // namespace
 }  // namespace cr::rt

@@ -152,5 +152,69 @@ TEST_P(RegionTreeSoundness, LcaTestIsSoundOnRandomTrees) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionTreeSoundness,
                          ::testing::Range<uint64_t>(0, 30));
 
+// Property: the memoized may_alias/overlaps_exact (static fast paths +
+// pair cache) must agree with the uncached exact computations on every
+// pair, on randomized trees, including on repeat queries served from the
+// cache.
+class RegionTreeMemoization : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionTreeMemoization, CachedAgreesWithUncachedOnRandomTrees) {
+  support::Rng rng(GetParam() * 31 + 7);
+  RegionForest forest;
+  std::vector<RegionId> regions;
+  // Two roots so cross-tree pairs are exercised too.
+  for (int t = 0; t < 2; ++t) {
+    regions.push_back(forest.create_region(IndexSpace::dense(64), fs()));
+  }
+  for (int step = 0; step < 8; ++step) {
+    RegionId target = regions[rng.next_below(regions.size())];
+    if (forest.region(target).ispace.size() < 4) continue;
+    PartitionId p;
+    if (rng.next_bool()) {
+      p = partition_equal(forest, target, 2 + rng.next_below(3));
+    } else {
+      const uint64_t shift = rng.next_below(8);
+      PartitionId base = partition_equal(forest, target, 2);
+      p = partition_image(
+          forest, target, base,
+          [&, shift](uint64_t x, std::vector<uint64_t>& out) {
+            out.push_back(x + shift);
+          });
+    }
+    for (RegionId sub : forest.partition(p).subregions) {
+      regions.push_back(sub);
+    }
+  }
+
+  // Two passes: the first fills the pair cache, the second must be
+  // answered from it; both must match the uncached reference.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (RegionId r1 : regions) {
+      for (RegionId r2 : regions) {
+        EXPECT_EQ(forest.may_alias(r1, r2),
+                  forest.may_alias_uncached(r1, r2))
+            << "pass " << pass << ": " << forest.region(r1).name << " vs "
+            << forest.region(r2).name;
+        // may_alias is allowed to be conservative, but overlaps_exact is
+        // exact by contract: compare against the raw interval test.
+        EXPECT_EQ(forest.overlaps_exact(r1, r2),
+                  forest.overlaps_exact_uncached(r1, r2))
+            << "pass " << pass << ": " << forest.region(r1).name << " vs "
+            << forest.region(r2).name;
+      }
+    }
+  }
+  const RegionForest::AliasCounters& c = forest.alias_counters();
+  const uint64_t n2 = 2 * regions.size() * regions.size();
+  EXPECT_EQ(c.alias_queries, n2);
+  EXPECT_EQ(c.overlap_queries, n2);
+  // Every query is resolved by a fast path, the cache, or exact work.
+  EXPECT_GE(c.alias_fast + c.alias_hits, n2 / 2);  // pass 2 never walks
+  EXPECT_GE(c.overlap_static + c.overlap_hits, n2 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionTreeMemoization,
+                         ::testing::Range<uint64_t>(0, 20));
+
 }  // namespace
 }  // namespace cr::rt
