@@ -25,7 +25,8 @@ exec::CostModel bench_cost() {
   return cost;
 }
 
-double run_circuit_spmd(uint32_t nodes, passes::PipelineOptions opt,
+double run_circuit_spmd(bench::Bench& bench, uint32_t nodes,
+                        passes::PipelineOptions opt,
                         exec::ExecutionResult* out = nullptr,
                         passes::PipelineReport* report = nullptr) {
   exec::CostModel cost = bench_cost();
@@ -40,14 +41,16 @@ double run_circuit_spmd(uint32_t nodes, passes::PipelineOptions opt,
   cfg.ns_per_node = 10000;
   auto app = apps::circuit::build(rt, cfg);
   for (auto& t : app.program.tasks) t.kernel = nullptr;
-  exec::PreparedRun run = exec::prepare_spmd(rt, app.program, cost, opt);
+  exec::PreparedRun run = exec::prepare(
+      rt, app.program, bench.config(exec::ExecMode::kSpmd, cost, opt));
   exec::ExecutionResult res = run.run();
+  bench.record(res);
   if (out != nullptr) *out = res;
   if (report != nullptr) *report = run.report;
   return exec::to_seconds(res.makespan_ns);
 }
 
-void ablation_intersections() {
+void ablation_intersections(bench::Bench& bench) {
   std::printf(
       "\nA1: copy intersection optimization (§3.3) — Circuit, SPMD\n");
   std::printf("%-8s %-16s %-16s %-18s %-18s\n", "nodes", "with (s)",
@@ -56,8 +59,8 @@ void ablation_intersections() {
     passes::PipelineOptions on, off;
     off.intersection_opt = false;
     exec::ExecutionResult r_on, r_off;
-    const double t_on = run_circuit_spmd(nodes, on, &r_on);
-    const double t_off = run_circuit_spmd(nodes, off, &r_off);
+    const double t_on = run_circuit_spmd(bench, nodes, on, &r_on);
+    const double t_off = run_circuit_spmd(bench, nodes, off, &r_off);
     std::printf("%-8u %-16.4f %-16.4f %-18llu %-18llu\n", nodes, t_on,
                 t_off,
                 (unsigned long long)(r_on.copies_issued + r_on.copies_skipped),
@@ -66,7 +69,8 @@ void ablation_intersections() {
   }
 }
 
-double run_pennant_spmd(uint32_t nodes, passes::PipelineOptions opt) {
+double run_pennant_spmd(bench::Bench& bench, uint32_t nodes,
+                        passes::PipelineOptions opt) {
   exec::CostModel cost = bench_cost();
   rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
   apps::pennant::Config cfg;
@@ -79,23 +83,26 @@ double run_pennant_spmd(uint32_t nodes, passes::PipelineOptions opt) {
   cfg.ns_per_point = 30000;
   auto app = apps::pennant::build(rt, cfg);
   for (auto& t : app.program.tasks) t.kernel = nullptr;
-  exec::PreparedRun run = exec::prepare_spmd(rt, app.program, cost, opt);
-  return exec::to_seconds(run.run().makespan_ns);
+  exec::PreparedRun run = exec::prepare(
+      rt, app.program, bench.config(exec::ExecMode::kSpmd, cost, opt));
+  const exec::ExecutionResult res = run.run();
+  bench.record(res);
+  return exec::to_seconds(res.makespan_ns);
 }
 
-void ablation_sync() {
+void ablation_sync(bench::Bench& bench) {
   std::printf("\nA2: point-to-point sync vs barriers (§3.4) — PENNANT\n");
   std::printf("%-8s %-16s %-16s\n", "nodes", "p2p (s)", "barriers (s)");
   for (uint32_t nodes : {4u, 16u, 64u}) {
     passes::PipelineOptions p2p, barrier;
     barrier.p2p_sync = false;
     std::printf("%-8u %-16.4f %-16.4f\n", nodes,
-                run_pennant_spmd(nodes, p2p),
-                run_pennant_spmd(nodes, barrier));
+                run_pennant_spmd(bench, nodes, p2p),
+                run_pennant_spmd(bench, nodes, barrier));
   }
 }
 
-void ablation_hierarchy() {
+void ablation_hierarchy(bench::Bench& bench) {
   std::printf(
       "\nA3: hierarchical region trees (§4.5) — Circuit, SPMD at 32 "
       "nodes\n");
@@ -104,7 +111,7 @@ void ablation_hierarchy() {
     opt.hierarchical = hier;
     exec::ExecutionResult res;
     passes::PipelineReport report;
-    const double t = run_circuit_spmd(32, opt, &res, &report);
+    const double t = run_circuit_spmd(bench, 32, opt, &res, &report);
     std::printf(
         "  %-12s makespan %.4f s; compiler emitted %zu inner copies and "
         "%zu intersection tables (flat cannot prove the private "
@@ -116,7 +123,7 @@ void ablation_hierarchy() {
 
 // A4 uses a synthetic two-writer loop where naive data replication emits
 // a provably dead copy per iteration.
-double run_placement_program(bool placement,
+double run_placement_program(bench::Bench& bench, bool placement,
                              exec::ExecutionResult* out = nullptr,
                              passes::PipelineReport* report = nullptr) {
   exec::CostModel cost = bench_cost();
@@ -160,14 +167,16 @@ double run_placement_program(bool placement,
   ir::Program program = b.finish();
   passes::PipelineOptions opt;
   opt.copy_placement = placement;
-  exec::PreparedRun run = exec::prepare_spmd(rt, program, cost, opt);
+  exec::PreparedRun run =
+      exec::prepare(rt, program, bench.config(exec::ExecMode::kSpmd, cost, opt));
   exec::ExecutionResult res = run.run();
+  bench.record(res);
   if (out != nullptr) *out = res;
   if (report != nullptr) *report = run.report;
   return exec::to_seconds(res.makespan_ns);
 }
 
-void ablation_placement() {
+void ablation_placement(bench::Bench& bench) {
   std::printf(
       "\nA4: copy placement PRE+LICM (§3.2) — synthetic two-writer loop, "
       "16 nodes\n");
@@ -176,7 +185,7 @@ void ablation_placement() {
   for (bool placement : {true, false}) {
     exec::ExecutionResult res;
     passes::PipelineReport report;
-    const double t = run_placement_program(placement, &res, &report);
+    const double t = run_placement_program(bench, placement, &res, &report);
     std::printf("%-20s %-14.4f %-16llu %-14zu\n",
                 placement ? "with placement" : "without placement", t,
                 (unsigned long long)res.copies_issued,
@@ -184,7 +193,7 @@ void ablation_placement() {
   }
 }
 
-void ablation_mapping() {
+void ablation_mapping(bench::Bench& bench) {
   std::printf(
       "\nA5: mapping granularity (§4.2) — Stencil at 64 nodes, tasks per "
       "node\n");
@@ -202,9 +211,11 @@ void ablation_mapping() {
       cfg.ns_per_point = 1.07e9 / (16 * 16) / 1.3 / tpn;
       auto app = apps::stencil::build(rt, cfg);
       for (auto& t : app.program.tasks) t.kernel = nullptr;
-      exec::PreparedRun run =
-          exec::prepare_spmd(rt, app.program, cost, {});
-      return exec::to_seconds(run.run().makespan_ns);
+      exec::PreparedRun run = exec::prepare(
+          rt, app.program, bench.config(exec::ExecMode::kSpmd, cost));
+      const exec::ExecutionResult res = run.run();
+      bench.record(res);
+      return exec::to_seconds(res.makespan_ns);
     };
     std::printf("%-16u %-16.4f\n", tpn,
                 cr::bench::steady_seconds(total, 2, 6));
@@ -213,11 +224,12 @@ void ablation_mapping() {
 
 }  // namespace
 
-int main() {
-  ablation_intersections();
-  ablation_sync();
-  ablation_hierarchy();
-  ablation_placement();
-  ablation_mapping();
-  return 0;
+int main(int argc, char** argv) {
+  cr::bench::Bench bench(argc, argv);
+  ablation_intersections(bench);
+  ablation_sync(bench);
+  ablation_hierarchy(bench);
+  ablation_placement(bench);
+  ablation_mapping(bench);
+  return bench.finish();
 }

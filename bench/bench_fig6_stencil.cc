@@ -43,7 +43,7 @@ Config make_config(uint32_t nodes, uint64_t steps) {
   return cfg;
 }
 
-double run_engine(uint32_t nodes, bool spmd) {
+double run_engine(bench::Bench& bench, uint32_t nodes, bool spmd) {
   auto total = [&](uint64_t steps) {
     exec::CostModel cost = exec::CostModel::piz_daint();
     cost.track_dependences = false;
@@ -52,14 +52,16 @@ double run_engine(uint32_t nodes, bool spmd) {
     cost.implicit_launch_ns = 2.0e6;
     Config cfg = make_config(nodes, steps);
     rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
-    bench::TraceScope trace(rt, spmd ? "stencil-cr" : "stencil-nocr", nodes);
+    bench::TraceScope trace(bench, rt, spmd ? "stencil-cr" : "stencil-nocr",
+                            nodes);
     apps::stencil::App app = apps::stencil::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
-    exec::PreparedRun run =
-        spmd ? exec::prepare_spmd(rt, app.program, cost, {})
-             : exec::prepare_implicit(rt, app.program, cost, {});
+    exec::PreparedRun run = exec::prepare(
+        rt, app.program,
+        bench.config(spmd ? exec::ExecMode::kSpmd : exec::ExecMode::kImplicit,
+                     cost));
     const exec::ExecutionResult res = run.run();
-    bench::record_analysis(res);
+    bench.record(res);
     return exec::to_seconds(res.makespan_ns);
   };
   return bench::steady_seconds(total, 2, 6);
@@ -70,8 +72,9 @@ double run_engine(uint32_t nodes, bool spmd) {
 // scan. Virtual time is charged on pairs_scanned in both modes, so the
 // makespans must be bit-identical; the index only reduces how many exact
 // conflict tests (pairs_tested) the host performs.
-void dependence_study(exec::ScalingReport& analysis_report) {
-  if (!cr::bench::options().selftime) return;
+void dependence_study(bench::Bench& bench,
+                      exec::ScalingReport& analysis_report) {
+  if (!bench.options().selftime) return;
   const uint32_t nodes = cr::bench::node_counts().back();
   struct StudyRun {
     exec::ExecutionResult res;
@@ -85,7 +88,9 @@ void dependence_study(exec::ScalingReport& analysis_report) {
     rt.deps().set_linear_scan(linear);
     apps::stencil::App app = apps::stencil::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
-    exec::PreparedRun run = exec::prepare_implicit(rt, app.program, cost, {});
+    exec::PreparedRun run =
+        exec::prepare(rt, app.program,
+                      bench.config(exec::ExecMode::kImplicit, cost));
     const auto begin = std::chrono::steady_clock::now();
     StudyRun out{run.run(), 0};
     out.host_seconds =
@@ -142,20 +147,22 @@ double run_mpi(uint32_t nodes, bool openmp) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::parse_args(argc, argv);
+  cr::bench::Bench bench(argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
-      {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
-      {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},
+      {"Regent (with CR)",
+       [&](uint32_t n) { return run_engine(bench, n, true); }},
+      {"Regent (w/o CR)",
+       [&](uint32_t n) { return run_engine(bench, n, false); }},
       {"MPI", [](uint32_t n) { return run_mpi(n, false); },
        cr::bench::is_square_power},
       {"MPI+OpenMP", [](uint32_t n) { return run_mpi(n, true); },
        cr::bench::is_square_power},
   };
-  auto report = cr::bench::sweep(
+  auto report = bench.sweep(
       "Figure 6: Stencil weak scaling (40k^2 points/node)",
       "10^6 points/s per node", 1e6, kPaperPointsPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
-  dependence_study(report);
-  cr::bench::write_analysis_json(report);
-  return 0;
+  dependence_study(bench, report);
+  bench.write_analysis_json(report);
+  return bench.finish();
 }

@@ -42,7 +42,7 @@ Config make_config(uint32_t nodes, uint64_t steps) {
   return cfg;
 }
 
-double run_engine(uint32_t nodes, bool spmd) {
+double run_engine(bench::Bench& bench, uint32_t nodes, bool spmd) {
   auto total = [&](uint64_t steps) {
     exec::CostModel cost = exec::CostModel::piz_daint();
     cost.track_dependences = false;
@@ -51,15 +51,16 @@ double run_engine(uint32_t nodes, bool spmd) {
     cost.task_slow_frac = kNoiseCore.slow_frac;
     Config cfg = make_config(nodes, steps);
     rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
-    bench::TraceScope trace(rt, spmd ? "miniaero-cr" : "miniaero-nocr",
+    bench::TraceScope trace(bench, rt, spmd ? "miniaero-cr" : "miniaero-nocr",
                             nodes);
     apps::miniaero::App app = apps::miniaero::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
-    exec::PreparedRun run =
-        spmd ? exec::prepare_spmd(rt, app.program, cost, {})
-             : exec::prepare_implicit(rt, app.program, cost, {});
+    exec::PreparedRun run = exec::prepare(
+        rt, app.program,
+        bench.config(spmd ? exec::ExecMode::kSpmd : exec::ExecMode::kImplicit,
+                     cost));
     const exec::ExecutionResult res = run.run();
-    bench::record_analysis(res);
+    bench.record(res);
     return exec::to_seconds(res.makespan_ns);
   };
   return cr::bench::steady_seconds(total, 2, 5);
@@ -78,19 +79,19 @@ double run_mpi(uint32_t nodes, bool rank_per_node) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::parse_args(argc, argv);
+  cr::bench::Bench bench(argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
-      {"Regent (with CR)", [](uint32_t n) { return run_engine(n, true); }},
-      {"Regent (w/o CR)", [](uint32_t n) { return run_engine(n, false); }},
+      {"Regent (with CR)", [&](uint32_t n) { return run_engine(bench, n, true); }},
+      {"Regent (w/o CR)", [&](uint32_t n) { return run_engine(bench, n, false); }},
       {"MPI+Kokkos rank/core",
        [](uint32_t n) { return run_mpi(n, false); }},
       {"MPI+Kokkos rank/node",
        [](uint32_t n) { return run_mpi(n, true); }},
   };
-  auto report = cr::bench::sweep(
+  auto report = bench.sweep(
       "Figure 7: MiniAero weak scaling (512k cells/node)",
       "10^3 cells/s per node", 1e3, kPaperCellsPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
-  cr::bench::write_analysis_json(report);
-  return 0;
+  bench.write_analysis_json(report);
+  return bench.finish();
 }

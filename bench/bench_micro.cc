@@ -4,6 +4,8 @@
 // behind the virtual-time constants documented in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include "common.h"
+
 #include "rt/dependence.h"
 #include "rt/intersect.h"
 #include "rt/partition.h"
@@ -127,4 +129,10 @@ BENCHMARK(BM_DependenceAnalysis)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  cr::bench::FlagSet flags;            // rejects leftovers with usage
+  if (!flags.parse(argc, argv)) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

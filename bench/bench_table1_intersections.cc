@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/circuit/circuit.h"
+#include "common.h"
 #include "apps/miniaero/miniaero.h"
 #include "apps/pennant/pennant.h"
 #include "apps/stencil/stencil.h"
@@ -109,7 +110,11 @@ Row run_stencil(uint32_t nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // No engine runs here; an empty FlagSet still validates the command
+  // line and answers with generated usage.
+  cr::bench::FlagSet flags;
+  if (!flags.parse(argc, argv)) return 2;
   uint32_t big = 1024;
   if (const char* env = std::getenv("CR_BENCH_MAX_NODES")) {
     const uint32_t cap = static_cast<uint32_t>(std::atoi(env));

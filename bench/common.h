@@ -1,6 +1,10 @@
 // Shared driver for the figure-regeneration benches: weak-scaling sweeps
 // of the Regent (with/without CR) executions and the app-specific MPI
 // reference models, reported in the paper's throughput-per-node form.
+//
+// Command lines are described declaratively with a FlagSet (usage text
+// is generated from the registrations); per-process state lives in a
+// Bench object the main function owns — there are no mutable globals.
 #pragma once
 
 #include <chrono>
@@ -11,14 +15,129 @@
 #include <string>
 #include <vector>
 
+#include "exec/implicit_exec.h"
 #include "exec/report.h"
-#include "exec/spmd_exec.h"
 #include "rt/runtime.h"
 #include "support/trace.h"
 
 namespace cr::bench {
 
-// --- command-line options ---------------------------------------------
+// --- declarative command-line flags -----------------------------------
+
+// A set of `--name` / `--name=<value>` flags. Registrations carry the
+// value spec and help text, so usage output is generated rather than
+// maintained by hand.
+class FlagSet {
+ public:
+  // `value` receives the text after '='; `has_value` distinguishes
+  // `--flag=` (empty value) from a bare `--flag`. Return false to
+  // reject the argument.
+  using Handler = std::function<bool(const std::string& value,
+                                     bool has_value)>;
+
+  // `value_spec` is the usage-text suffix: "" for a plain switch,
+  // "=<path>" for a required value, "[=<path>]" for an optional one.
+  void add(std::string name, std::string value_spec, std::string help,
+           Handler handler) {
+    flags_.push_back({std::move(name), std::move(value_spec),
+                      std::move(help), std::move(handler)});
+  }
+
+  // A plain presence switch.
+  void add_flag(std::string name, std::string help, bool* out) {
+    add(std::move(name), "", std::move(help),
+        [out](const std::string&, bool has_value) {
+          if (has_value) return false;
+          *out = true;
+          return true;
+        });
+  }
+
+  // A string flag whose value may be omitted: bare `--name` (or an
+  // empty `--name=`) stores `bare_value`.
+  void add_string(std::string name, std::string value_name,
+                  std::string help, std::string* out,
+                  std::string bare_value) {
+    add(std::move(name), "[=" + value_name + "]", std::move(help),
+        [out, bare_value](const std::string& value, bool has_value) {
+          *out = (has_value && !value.empty()) ? value : bare_value;
+          return true;
+        });
+  }
+
+  // An integer flag with a required value.
+  void add_int(std::string name, std::string value_name, std::string help,
+               int64_t* out) {
+    add(std::move(name), "=" + value_name, std::move(help),
+        [out](const std::string& value, bool has_value) {
+          if (!has_value || value.empty()) return false;
+          char* end = nullptr;
+          const long long v = std::strtoll(value.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') return false;
+          *out = v;
+          return true;
+        });
+  }
+
+  std::string usage(const char* argv0) const {
+    std::string out = "usage: ";
+    out += argv0;
+    for (const Flag& f : flags_) {
+      out += " [--" + f.name + f.value_spec + "]";
+    }
+    out += "\n";
+    for (const Flag& f : flags_) {
+      char line[256];
+      std::snprintf(line, sizeof line, "  --%-24s %s\n",
+                    (f.name + f.value_spec).c_str(), f.help.c_str());
+      out += line;
+    }
+    return out;
+  }
+
+  // Parses every argument; on an unknown flag or a bad value, prints
+  // the offender plus the generated usage to stderr and returns false.
+  bool parse(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!parse_one(arg)) {
+        std::fprintf(stderr, "%s: bad argument '%s'\n%s", argv[0],
+                     arg.c_str(), usage(argv[0]).c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_spec;
+    std::string help;
+    Handler handler;
+  };
+
+  bool parse_one(const std::string& arg) const {
+    if (arg.rfind("--", 0) != 0) return false;
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+      has_value = true;
+    }
+    for (const Flag& f : flags_) {
+      if (f.name == name) return f.handler(value, has_value);
+    }
+    return false;
+  }
+
+  std::vector<Flag> flags_;
+};
+
+// --- the standard bench options ---------------------------------------
 
 struct BenchOptions {
   // Prefix for trace artifacts; empty means tracing is disabled (the
@@ -30,39 +149,39 @@ struct BenchOptions {
   // Purely observational: virtual makespans are identical either way.
   bool selftime = false;
   std::string analysis_path = "BENCH_analysis.json";
-};
+  // --check: run the cross-shard happens-before race checker on every
+  // engine run (host-side; virtual makespans are unchanged).
+  bool check = false;
+  // --check-mutate=<id>: delete/weaken sync op <id> (ir::SyncId) in the
+  // SPMD runs; the checker must then report a race. Implies --check.
+  int64_t check_mutate = -1;
 
-inline BenchOptions& options() {
-  static BenchOptions o;
-  return o;
-}
-
-// Parse the common bench flags (--trace[=<path>], --selftime[=<path>]).
-inline void parse_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--trace=", 0) == 0) {
-      options().trace_path = a.substr(8);
-      // `--trace=` with no value means the default, not "disabled".
-      if (options().trace_path.empty()) options().trace_path = "trace.json";
-    } else if (a == "--trace") {
-      options().trace_path = "trace.json";
-    } else if (a.rfind("--selftime=", 0) == 0) {
-      options().selftime = true;
-      options().analysis_path = a.substr(11);
-      if (options().analysis_path.empty()) {
-        options().analysis_path = "BENCH_analysis.json";
-      }
-    } else if (a == "--selftime") {
-      options().selftime = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--trace[=<path>]] [--selftime[=<path>]]\n",
-                   argv[0]);
-      std::exit(2);
-    }
+  void register_flags(FlagSet& flags) {
+    flags.add_string("trace", "<path>",
+                     "write Chrome trace JSON + breakdown per run",
+                     &trace_path, "trace.json");
+    flags.add("selftime", "[=<path>]",
+              "profile host-side dynamic analysis (JSON artifact)",
+              [this](const std::string& value, bool has_value) {
+                selftime = true;
+                if (has_value && !value.empty()) analysis_path = value;
+                return true;
+              });
+    flags.add_flag("check", "run the happens-before race checker",
+                   &check);
+    flags.add("check-mutate", "=<sync-id>",
+              "delete sync op <sync-id>; expect the checker to race",
+              [this](const std::string& value, bool has_value) {
+                if (!has_value || value.empty()) return false;
+                char* end = nullptr;
+                const long long v = std::strtoll(value.c_str(), &end, 10);
+                if (end == nullptr || *end != '\0' || v < 0) return false;
+                check_mutate = v;
+                check = true;
+                return true;
+              });
   }
-}
+};
 
 // Category fractions of the most recent traced run, for sweep() to fold
 // into the scaling report.
@@ -71,33 +190,106 @@ struct LastBreakdown {
   double compute = 0, copy = 0, sync = 0, idle = 0;
 };
 
-inline LastBreakdown& last_breakdown() {
-  static LastBreakdown b;
-  return b;
-}
-
-// Analysis counters of the most recent engine run, published by the
-// bench's run function (record_analysis) and folded into the scaling
-// report by sweep() when --selftime is active.
+// Analysis counters of the most recent engine run.
 struct LastAnalysis {
   bool valid = false;
   exec::AnalysisStats stats;
 };
 
-inline LastAnalysis& last_analysis() {
-  static LastAnalysis a;
-  return a;
-}
+// --- the per-process bench driver -------------------------------------
 
-// Call after Engine::run() inside a bench's run function so sweep() can
-// attach the run's dynamic-analysis counters to the scaling point. With
-// repeated runs of one configuration (steady-state differencing), the
-// last — largest — run wins.
-inline void record_analysis(const exec::ExecutionResult& r) {
-  if (!options().selftime) return;
-  last_analysis().valid = true;
-  last_analysis().stats = r.analysis;
-}
+// Owns the parsed options and the run-to-run state (trace breakdowns,
+// analysis counters, checker tallies) that used to live in mutable
+// singletons. Construct one in main() and thread it by reference.
+class Bench {
+ public:
+  Bench(int argc, char** argv) {
+    options_.register_flags(flags_);
+    if (!flags_.parse(argc, argv)) std::exit(2);
+  }
+
+  const BenchOptions& options() const { return options_; }
+
+  // The ExecConfig for one engine run, honoring --check/--check-mutate
+  // (the mutation applies to SPMD runs only; sync ids do not exist
+  // before sync insertion).
+  exec::ExecConfig config(exec::ExecMode mode, const exec::CostModel& cost,
+                          passes::PipelineOptions pipeline = {}) const {
+    exec::ExecConfig cfg;
+    cfg.pipeline = pipeline;
+    cfg.cost = cost;
+    cfg.mode = mode;
+    cfg.check = options_.check;
+    if (mode == exec::ExecMode::kSpmd && options_.check_mutate >= 0) {
+      cfg.check_mutate = static_cast<ir::SyncId>(options_.check_mutate);
+    }
+    return cfg;
+  }
+
+  // Call after Engine::run() inside a bench's run function: records the
+  // run's dynamic-analysis counters for sweep() (with repeated runs of
+  // one configuration — steady-state differencing — the last, largest
+  // run wins) and tallies the checker result.
+  void record(const exec::ExecutionResult& r) {
+    if (options_.selftime) {
+      last_analysis_.valid = true;
+      last_analysis_.stats = r.analysis;
+    }
+    if (r.check != nullptr) {
+      ++checked_runs_;
+      check_accesses_ += r.check->stats.accesses;
+      check_pairs_ += r.check->stats.pairs_checked;
+      check_races_ += r.check->stats.races;
+      if (!r.check->ok() && ++raced_runs_ <= 3) {
+        std::fprintf(stderr, "%s", r.check->to_text().c_str());
+      }
+    }
+  }
+
+  // Weak-scaling sweep over node_counts() for each series.
+  exec::ScalingReport sweep(const std::string& title,
+                            const std::string& unit, double unit_scale,
+                            double work_per_node, double iterations,
+                            const std::vector<struct SeriesSpec>& specs);
+
+  // Write the --selftime artifact: one JSON object per recorded point
+  // with the analysis counters and host wall-clock. No-op unless
+  // --selftime.
+  void write_analysis_json(const exec::ScalingReport& report) const;
+
+  // Prints the checker tally and returns the process exit code: with
+  // --check, nonzero when a race was found; with --check-mutate,
+  // nonzero when the mutant was NOT detected.
+  int finish() const {
+    if (!options_.check) return 0;
+    const bool mutating = options_.check_mutate >= 0;
+    const bool detected = check_races_ > 0;
+    std::fprintf(stderr,
+                 "[check] %llu runs, %llu accesses, %llu pairs, %llu "
+                 "races%s\n",
+                 (unsigned long long)checked_runs_,
+                 (unsigned long long)check_accesses_,
+                 (unsigned long long)check_pairs_,
+                 (unsigned long long)check_races_,
+                 mutating ? (detected ? " — mutant detected"
+                                      : " — mutant NOT detected")
+                          : (detected ? " — RACES" : " — ok"));
+    return mutating ? (detected ? 0 : 1) : (detected ? 1 : 0);
+  }
+
+ private:
+  friend class TraceScope;
+
+  FlagSet flags_;
+  BenchOptions options_;
+  LastBreakdown last_breakdown_;
+  LastAnalysis last_analysis_;
+  uint64_t checked_runs_ = 0;
+  uint64_t check_accesses_ = 0;
+  uint64_t check_pairs_ = 0;
+  uint64_t check_races_ = 0;
+  uint64_t raced_runs_ = 0;
+};
 
 // RAII tracing for one engine run: attaches a Tracer to the runtime's
 // simulator when --trace is set, and on destruction (after the run,
@@ -108,9 +300,10 @@ inline void record_analysis(const exec::ExecutionResult& r) {
 // wins.
 class TraceScope {
  public:
-  TraceScope(rt::Runtime& rt, std::string label, uint32_t nodes)
-      : rt_(&rt), label_(std::move(label)), nodes_(nodes) {
-    if (options().trace_path.empty()) return;
+  TraceScope(Bench& bench, rt::Runtime& rt, std::string label,
+             uint32_t nodes)
+      : bench_(&bench), rt_(&rt), label_(std::move(label)), nodes_(nodes) {
+    if (bench.options().trace_path.empty()) return;
     if (rt.sim().tracer() != nullptr) return;  // someone else is tracing
     tracer_ = std::make_unique<support::Tracer>();
     rt.sim().set_tracer(tracer_.get());
@@ -123,7 +316,7 @@ class TraceScope {
     rt_->sim().set_tracer(nullptr);
     const support::TraceSummary sum = tracer_->summarize(rt_->sim().now());
 
-    std::string stem = options().trace_path;
+    std::string stem = bench_->options().trace_path;
     const std::string suffix = ".json";
     if (stem.size() > suffix.size() &&
         stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) ==
@@ -141,7 +334,7 @@ class TraceScope {
     std::fprintf(stderr, "  [%s, %u nodes]\n%s  trace: %s.json\n",
                  label_.c_str(), nodes_, text.c_str(), base.c_str());
 
-    LastBreakdown& lb = last_breakdown();
+    LastBreakdown& lb = bench_->last_breakdown_;
     lb.valid = true;
     lb.compute = sum.breakdown.compute_frac();
     lb.copy = sum.breakdown.copy_frac();
@@ -150,6 +343,7 @@ class TraceScope {
   }
 
  private:
+  Bench* bench_;
   rt::Runtime* rt_;
   std::string label_;
   uint32_t nodes_;
@@ -180,10 +374,10 @@ struct SeriesSpec {
   std::function<bool(uint32_t)> applicable = [](uint32_t) { return true; };
 };
 
-inline exec::ScalingReport sweep(const std::string& title,
-                                 const std::string& unit, double unit_scale,
-                                 double work_per_node, double iterations,
-                                 const std::vector<SeriesSpec>& specs) {
+inline exec::ScalingReport Bench::sweep(
+    const std::string& title, const std::string& unit, double unit_scale,
+    double work_per_node, double iterations,
+    const std::vector<SeriesSpec>& specs) {
   exec::ScalingReport report;
   report.title = title;
   report.unit = unit;
@@ -196,25 +390,25 @@ inline exec::ScalingReport sweep(const std::string& title,
       std::fprintf(stderr, "  [%s] %u nodes...\n", spec.name.c_str(), n);
       exec::ScalingPoint pt;
       pt.nodes = n;
-      last_breakdown().valid = false;
-      last_analysis().valid = false;
+      last_breakdown_.valid = false;
+      last_analysis_.valid = false;
       const auto host_begin = std::chrono::steady_clock::now();
       pt.seconds = spec.run(n);
       const double host_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         host_begin)
               .count();
-      if (options().selftime && last_analysis().valid) {
+      if (options_.selftime && last_analysis_.valid) {
         pt.has_analysis = true;
-        pt.analysis = last_analysis().stats;
+        pt.analysis = last_analysis_.stats;
         pt.analysis.host_seconds = host_seconds;
       }
-      if (last_breakdown().valid) {
+      if (last_breakdown_.valid) {
         pt.has_breakdown = true;
-        pt.compute_frac = last_breakdown().compute;
-        pt.copy_frac = last_breakdown().copy;
-        pt.sync_frac = last_breakdown().sync;
-        pt.idle_frac = last_breakdown().idle;
+        pt.compute_frac = last_breakdown_.compute;
+        pt.copy_frac = last_breakdown_.copy;
+        pt.sync_frac = last_breakdown_.sync;
+        pt.idle_frac = last_breakdown_.idle;
       }
       pt.work_per_node = work_per_node;
       pt.iterations = iterations;
@@ -225,14 +419,13 @@ inline exec::ScalingReport sweep(const std::string& title,
   return report;
 }
 
-// Write the --selftime artifact: one JSON object per recorded point with
-// the analysis counters and host wall-clock. No-op unless --selftime.
-inline void write_analysis_json(const exec::ScalingReport& report) {
-  if (!options().selftime) return;
-  FILE* f = std::fopen(options().analysis_path.c_str(), "w");
+inline void Bench::write_analysis_json(
+    const exec::ScalingReport& report) const {
+  if (!options_.selftime) return;
+  FILE* f = std::fopen(options_.analysis_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n",
-                 options().analysis_path.c_str());
+                 options_.analysis_path.c_str());
     return;
   }
   std::fprintf(f, "{\n  \"title\": \"%s\",\n  \"series\": [\n",
@@ -256,7 +449,7 @@ inline void write_analysis_json(const exec::ScalingReport& report) {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "  analysis counters: %s\n",
-               options().analysis_path.c_str());
+               options_.analysis_path.c_str());
 }
 
 // Measure the steady-state per-iteration time of an engine execution by

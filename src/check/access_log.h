@@ -1,0 +1,77 @@
+// The access log the cross-shard race checker consumes. During an
+// instrumented execution the engine appends one Access per (operation,
+// region argument, physical location): point-task reads/writes/reduces,
+// copy sources and destinations, fills, and the scalar-reduction
+// partials traffic behind dynamic collectives. Each access carries
+//   - where   : an opaque physical-location key plus the logical
+//               (region-root, field) coordinates and touched points,
+//   - when    : happens-before anchors — the event uids the operation
+//               waits on before starting and the uid of its completion
+//               event (the same events the engine wires, so the log is
+//               exactly as ordered as the execution, no more),
+//   - what    : its position in the implicit program's sequential order
+//               (statement-instance sequence + intra-statement index),
+//               which is the ground-truth dependence relation the
+//               checker validates the synchronization against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "rt/physical.h"
+#include "support/interval_set.h"
+
+namespace cr::check {
+
+enum class AccessType : uint8_t { kRead, kWrite, kReduce };
+
+inline const char* to_string(AccessType t) {
+  switch (t) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+struct Access {
+  // Physical location identity: accesses to different buffers can never
+  // race even when they cover the same logical points (e.g. a private
+  // instance vs a ghost instance of the same subregion).
+  uint64_t place = 0;
+  // Logical coordinates, for reporting.
+  rt::RegionId root = rt::kNoId;
+  std::vector<rt::FieldId> fields;
+  support::IntervalSet points;
+
+  AccessType type = AccessType::kRead;
+  rt::ReduceOp redop = rt::ReduceOp::kSum;  // meaningful for kReduce
+
+  // Happens-before anchors. The operation starts only after every event
+  // in start_uids has triggered (uid 0 entries are dropped by the
+  // logger); an empty list means it can start immediately. done_uid is
+  // the completion event; 0 means complete at the start of time.
+  std::vector<uint64_t> start_uids;
+  uint64_t done_uid = 0;
+
+  // Implicit-program order: seq numbers statement instances in the
+  // order the sequential semantics visits them; sub distinguishes the
+  // logically concurrent pieces of one statement (launch color, copy
+  // pair). Two accesses with equal (seq, sub) belong to one operation.
+  uint64_t seq = 0;
+  uint64_t sub = 0;
+  uint32_t shard = 0;  // issuing control context (UINT32_MAX = main task)
+
+  const ir::Stmt* stmt = nullptr;  // for report text
+  const char* what = "";           // short site label ("task", "copy-dst", ...)
+};
+
+struct AccessLog {
+  std::vector<Access> accesses;
+};
+
+}  // namespace cr::check

@@ -1,0 +1,289 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "ir/printer.h"
+#include "support/check.h"
+
+namespace cr::check {
+
+namespace {
+
+bool fields_overlap(const std::vector<rt::FieldId>& a,
+                    const std::vector<rt::FieldId>& b) {
+  for (rt::FieldId x : a) {
+    for (rt::FieldId y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+// Two accesses to one physical location conflict unless both are reads
+// or both are folds of one reduction epoch (same operator, commuting).
+bool conflicting(const Access& a, const Access& b) {
+  if (a.type == AccessType::kRead && b.type == AccessType::kRead) {
+    return false;
+  }
+  if (a.type == AccessType::kReduce && b.type == AccessType::kReduce &&
+      a.redop == b.redop) {
+    return false;
+  }
+  if (!fields_overlap(a.fields, b.fields)) return false;
+  return a.points.overlaps(b.points);
+}
+
+// A conflicting pair, stored with `first` logically earlier. Pairs with
+// equal seq are logically concurrent pieces of one statement: no
+// direction is demanded, but *some* order must exist.
+struct PairCheck {
+  size_t first = 0;
+  size_t second = 0;
+  bool concurrent = false;  // equal seq: either direction satisfies
+  bool ordered = false;
+};
+
+// One direction of one pair: "does src's completion reach any of dst's
+// start anchors". Answered in a batch by a single topological sweep.
+struct Query {
+  size_t pair = 0;
+  size_t src_access = 0;
+};
+
+struct Sweep {
+  // Dense node ids for every uid mentioned by an edge or an anchor.
+  std::unordered_map<uint64_t, uint32_t> ids;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+  uint32_t intern(uint64_t uid) {
+    auto [it, inserted] = ids.try_emplace(uid, ids.size());
+    return it->second;
+  }
+};
+
+void set_bit(std::vector<uint64_t>& bits, size_t words, size_t i) {
+  if (bits.empty()) bits.assign(words, 0);
+  bits[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+bool test_bit(const std::vector<uint64_t>& bits, size_t i) {
+  if (bits.empty()) return false;
+  return (bits[i >> 6] >> (i & 63)) & 1;
+}
+
+void or_into(std::vector<uint64_t>& dst, const std::vector<uint64_t>& src,
+             size_t words) {
+  if (src.empty()) return;
+  if (dst.empty()) dst.assign(words, 0);
+  for (size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+std::string uid_list(const std::vector<uint64_t>& uids) {
+  std::string s = "{";
+  for (size_t i = 0; i < uids.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (i >= 6) {
+      s += "...";
+      break;
+    }
+    s += std::to_string(uids[i]);
+  }
+  return s + "}";
+}
+
+std::string site_text(const Access& a, const ir::Program& program) {
+  std::string s = std::string(to_string(a.type)) + " " + a.what + " (seq " +
+                  std::to_string(a.seq) + " sub " + std::to_string(a.sub) +
+                  ", " +
+                  (a.shard == UINT32_MAX ? std::string("main task")
+                                         : "shard " + std::to_string(a.shard)) +
+                  ")";
+  s += "\n      anchors: starts=" + uid_list(a.start_uids) +
+       " done=" + std::to_string(a.done_uid);
+  if (a.stmt != nullptr) {
+    std::string stmt = ir::to_string(*a.stmt, program, 0);
+    // Print only the statement's head line (shard bodies are long).
+    const size_t nl = stmt.find('\n');
+    if (nl != std::string::npos) stmt.resize(nl);
+    s += "\n      stmt: " + stmt;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string CheckStats::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "accesses %llu; hb graph %llu nodes / %llu edges; "
+                "conflicting pairs %llu; races %llu",
+                static_cast<unsigned long long>(accesses),
+                static_cast<unsigned long long>(hb_nodes),
+                static_cast<unsigned long long>(hb_edges),
+                static_cast<unsigned long long>(pairs_checked),
+                static_cast<unsigned long long>(races));
+  return buf;
+}
+
+std::string CheckResult::to_text() const {
+  std::string s = stats.to_text();
+  for (const Race& r : races) {
+    s += "\n" + r.text;
+  }
+  return s;
+}
+
+CheckResult check(const AccessLog& log, const sim::EventGraph& graph,
+                  const ir::Program& program) {
+  CheckResult out;
+  out.stats.accesses = log.accesses.size();
+
+  // --- 1. Enumerate conflicting pairs per physical location. ----------
+  std::unordered_map<uint64_t, std::vector<size_t>> by_place;
+  for (size_t i = 0; i < log.accesses.size(); ++i) {
+    by_place[log.accesses[i].place].push_back(i);
+  }
+  std::vector<PairCheck> pairs;
+  for (const auto& [place, ids] : by_place) {
+    for (size_t x = 0; x < ids.size(); ++x) {
+      const Access& ax = log.accesses[ids[x]];
+      for (size_t y = x + 1; y < ids.size(); ++y) {
+        const Access& ay = log.accesses[ids[y]];
+        // Accesses of one operation (a task's several arguments, a
+        // copy's two sides) are internally ordered by construction.
+        if (ax.seq == ay.seq && ax.sub == ay.sub) continue;
+        if (!conflicting(ax, ay)) continue;
+        PairCheck pc;
+        pc.first = ids[x];
+        pc.second = ids[y];
+        pc.concurrent = ax.seq == ay.seq;
+        if (ay.seq < ax.seq || (ay.seq == ax.seq && ay.sub < ax.sub)) {
+          std::swap(pc.first, pc.second);
+        }
+        pairs.push_back(pc);
+      }
+    }
+  }
+  // Deterministic report order regardless of hash-map iteration.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairCheck& a, const PairCheck& b) {
+              return std::tie(a.first, a.second) < std::tie(b.first, b.second);
+            });
+  out.stats.pairs_checked = pairs.size();
+
+  // --- 2. Build the HB DAG and register reachability queries. ---------
+  Sweep sw;
+  for (const auto& [from, to] : graph.edges()) {
+    sw.edges.emplace_back(sw.intern(from), sw.intern(to));
+  }
+  out.stats.hb_edges = sw.edges.size();
+
+  std::vector<Query> queries;
+  std::unordered_map<size_t, size_t> bit_of;  // src access -> bit index
+  // bucket: node -> query indices anchored at that node (a query fires
+  // at each of the destination's start uids).
+  std::unordered_map<uint32_t, std::vector<size_t>> bucket;
+  auto add_direction = [&](size_t pair_id, size_t src, size_t dst) {
+    const Access& a = log.accesses[src];
+    const Access& b = log.accesses[dst];
+    if (a.done_uid == 0) {
+      // Complete at the start of time: ordered before everything.
+      pairs[pair_id].ordered = true;
+      return;
+    }
+    if (b.start_uids.empty()) return;  // dst waits on nothing
+    const size_t qid = queries.size();
+    queries.push_back({pair_id, src});
+    bit_of.try_emplace(src, bit_of.size());
+    for (uint64_t s : b.start_uids) {
+      bucket[sw.intern(s)].push_back(qid);
+    }
+  };
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    add_direction(p, pairs[p].first, pairs[p].second);
+    if (pairs[p].concurrent && !pairs[p].ordered) {
+      add_direction(p, pairs[p].second, pairs[p].first);
+    }
+  }
+  // done_at: node -> source bits completing there.
+  std::unordered_map<uint32_t, std::vector<size_t>> done_at;
+  for (const auto& [src, bit] : bit_of) {
+    done_at[sw.intern(log.accesses[src].done_uid)].push_back(bit);
+  }
+
+  const uint32_t n = static_cast<uint32_t>(sw.ids.size());
+  out.stats.hb_nodes = n;
+  std::sort(sw.edges.begin(), sw.edges.end());
+  sw.edges.erase(std::unique(sw.edges.begin(), sw.edges.end()),
+                 sw.edges.end());
+
+  // CSR adjacency + indegrees for Kahn's algorithm.
+  std::vector<uint32_t> head(n + 1, 0), indeg(n, 0);
+  for (const auto& [u, v] : sw.edges) {
+    ++head[u + 1];
+    ++indeg[v];
+  }
+  for (uint32_t u = 0; u < n; ++u) head[u + 1] += head[u];
+  std::vector<uint32_t> succ(sw.edges.size());
+  {
+    std::vector<uint32_t> fill(head.begin(), head.end() - 1);
+    for (const auto& [u, v] : sw.edges) succ[fill[u]++] = v;
+  }
+
+  // --- 3. One topological sweep answers every query. -------------------
+  const size_t words = (bit_of.size() + 63) / 64;
+  std::vector<std::vector<uint64_t>> reach(n);
+  std::vector<uint32_t> ready;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (indeg[u] == 0) ready.push_back(u);
+  }
+  uint32_t processed = 0;
+  while (!ready.empty()) {
+    const uint32_t u = ready.back();
+    ready.pop_back();
+    ++processed;
+    std::vector<uint64_t> bits = std::move(reach[u]);
+    if (auto it = done_at.find(u); it != done_at.end()) {
+      for (size_t bit : it->second) set_bit(bits, words, bit);
+    }
+    if (auto it = bucket.find(u); it != bucket.end()) {
+      for (size_t qid : it->second) {
+        const Query& q = queries[qid];
+        if (test_bit(bits, bit_of.at(q.src_access))) {
+          pairs[q.pair].ordered = true;
+        }
+      }
+    }
+    for (uint32_t e = head[u]; e < head[u + 1]; ++e) {
+      const uint32_t v = succ[e];
+      or_into(reach[v], bits, words);
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  CR_CHECK_MSG(processed == n, "happens-before graph has a cycle");
+
+  // --- 4. Report unordered pairs. --------------------------------------
+  for (const PairCheck& pc : pairs) {
+    if (pc.ordered) continue;
+    const Access& a = log.accesses[pc.first];
+    const Access& b = log.accesses[pc.second];
+    Race r;
+    r.first = pc.first;
+    r.second = pc.second;
+    const support::IntervalSet overlap = a.points.set_intersect(b.points);
+    r.text = "race on root " + std::to_string(a.root) + " place " +
+             std::to_string(a.place) + " points " + overlap.to_string() +
+             (pc.concurrent ? " (concurrent within one statement)" : "") +
+             "\n    earlier: " + site_text(a, program) +
+             "\n    later:   " + site_text(b, program) +
+             "\n    missing edge: " + std::to_string(a.done_uid) + " -> " +
+             uid_list(b.start_uids);
+    out.races.push_back(std::move(r));
+  }
+  out.stats.races = out.races.size();
+  return out;
+}
+
+}  // namespace cr::check

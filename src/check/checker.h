@@ -1,0 +1,54 @@
+// Cross-shard happens-before race checker (paper §3.4, §5).
+//
+// Control replication claims to insert *exactly enough* copies and
+// synchronization for the SPMD program to preserve the implicit
+// program's sequential semantics. End-to-end data comparison cannot
+// distinguish "correctly synchronized" from "accidentally ordered by
+// the simulator's schedule"; this checker can. It takes
+//   - the access log recorded during execution,
+//   - the happens-before DAG recorded by sim::EventGraph (precondition
+//     edges, merges, barrier-generation advances, collective gathers),
+// and verifies that every conflicting access pair on overlapping
+// points of the same physical location is ordered by the graph in the
+// direction the implicit program's dependence relation demands. An
+// unordered pair is a race: the report names both sites, their IR
+// statements, and the missing edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/access_log.h"
+#include "sim/event_graph.h"
+
+namespace cr::check {
+
+struct CheckStats {
+  uint64_t accesses = 0;
+  uint64_t hb_nodes = 0;
+  uint64_t hb_edges = 0;
+  uint64_t pairs_checked = 0;  // conflicting pairs needing an HB order
+  uint64_t races = 0;
+  std::string to_text() const;
+};
+
+struct Race {
+  size_t first = 0;   // index into the access log: logically earlier op
+  size_t second = 0;  // logically later (equal seq: concurrent) op
+  std::string text;   // formatted report
+};
+
+struct CheckResult {
+  CheckStats stats;
+  std::vector<Race> races;
+  bool ok() const { return races.empty(); }
+  std::string to_text() const;
+};
+
+// `program` is the executed (transformed) program, used only to print
+// the IR statements of racing accesses.
+CheckResult check(const AccessLog& log, const sim::EventGraph& graph,
+                  const ir::Program& program);
+
+}  // namespace cr::check

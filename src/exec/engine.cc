@@ -21,13 +21,14 @@ constexpr uint32_t kMainEnv = UINT32_MAX;
 // =====================================================================
 
 struct Engine::Impl {
-  Impl(rt::Runtime& rt, const ir::Program& program, const CostModel& cost,
-       ExecMode mode)
+  Impl(rt::Runtime& rt, const ir::Program& program, const ExecConfig& config)
       : isect_cache_(rt.forest()),
         rt_(rt),
         p_(program),
-        cost_(cost),
-        mode_(mode) {}
+        cost_(config.cost),
+        mode_(config.mode),
+        check_(config.check),
+        mutant_(config.check_mutate) {}
 
   ~Impl() {
     // If enable_trace() attached our own tracer to the simulator, detach
@@ -35,6 +36,9 @@ struct Engine::Impl {
     if (owned_tracer_ != nullptr &&
         rt_.sim().tracer() == owned_tracer_.get()) {
       rt_.sim().set_tracer(nullptr);
+    }
+    if (rt_.sim().event_graph() == &graph_) {
+      rt_.sim().set_event_graph(nullptr);
     }
   }
 
@@ -136,6 +140,10 @@ struct Engine::Impl {
   struct SyncEdge {
     sim::Event event;
     uint32_t node = 0;
+    uint32_t shard = kMainEnv;  // issuing control context
+    // Barrier-synchronized op (Fig. 4c): its cross-shard dependence
+    // edges are relaxed — the barriers around it ARE the ordering.
+    bool relaxed = false;
   };
   struct InstanceSync {
     std::vector<SyncEdge> readers;  // since the last write epoch
@@ -189,21 +197,65 @@ struct Engine::Impl {
     }
     return e.event;
   }
-  void read_pre(InstanceSync& s, uint32_t node,
+  // Barrier-mode relaxation (paper §3.4, Fig. 4c): when either side of
+  // a dependence is a barrier-synchronized copy, the point-to-point edge
+  // between *different shards* is dropped — sync_insertion guarantees a
+  // barrier separates the conflicting pair. Same-shard edges and edges
+  // touching the main task always hold (sequential semantics within one
+  // control thread). A p2p copy behaves this way only when the checker's
+  // fault injection deletes its synchronization.
+  static bool skip_edge(const SyncEdge& e, uint32_t shard, bool relaxed) {
+    if (!e.relaxed && !relaxed) return false;
+    if (shard == kMainEnv || e.shard == kMainEnv) return false;
+    return e.shard != shard;
+  }
+  void read_pre(InstanceSync& s, uint32_t node, uint32_t shard, bool relaxed,
                 std::vector<sim::Event>& pre) {
-    for (const SyncEdge& w : s.writers) pre.push_back(edge_event(w, node));
+    for (const SyncEdge& w : s.writers) {
+      if (skip_edge(w, shard, relaxed)) continue;
+      pre.push_back(edge_event(w, node));
+    }
   }
-  void write_pre(InstanceSync& s, uint32_t node,
+  void write_pre(InstanceSync& s, uint32_t node, uint32_t shard, bool relaxed,
                  std::vector<sim::Event>& pre) {
-    for (const SyncEdge& w : s.writers) pre.push_back(edge_event(w, node));
-    for (const SyncEdge& r : s.readers) pre.push_back(edge_event(r, node));
+    for (const SyncEdge& w : s.writers) {
+      if (skip_edge(w, shard, relaxed)) continue;
+      pre.push_back(edge_event(w, node));
+    }
+    for (const SyncEdge& r : s.readers) {
+      if (skip_edge(r, shard, relaxed)) continue;
+      pre.push_back(edge_event(r, node));
+    }
   }
-  static void note_read(InstanceSync& s, sim::Event done, uint32_t node) {
-    s.readers.push_back({done, node});
+  static void note_read(InstanceSync& s, sim::Event done, uint32_t node,
+                        uint32_t shard, bool relaxed = false) {
+    s.readers.push_back({done, node, shard, relaxed});
   }
-  static void note_write(InstanceSync& s, sim::Event done, uint32_t node) {
-    s.writers.assign(1, {done, node});
-    s.readers.clear();
+  static void note_write(InstanceSync& s, sim::Event done, uint32_t node,
+                         uint32_t shard, bool relaxed = false) {
+    if (!relaxed) {
+      // An ordinary write waited on every prior edge, so it dominates
+      // them all and becomes the sole write epoch.
+      s.writers.assign(1, {done, node, shard, relaxed});
+      s.readers.clear();
+      return;
+    }
+    // A relaxed write may retire only its own shard's edges. Cross-shard
+    // edges it skipped obviously stay. Main-task edges it DID wait on
+    // must stay too: an unordered sibling writer in the same barrier
+    // interval (another shard's copy pair of the same statement) still
+    // needs to wait on them directly — retiring an edge a sibling never
+    // waited on silently breaks transitive ordering (e.g. a main-task
+    // init copy vanishing behind an unordered shard copy). Bounded: one
+    // relaxed writer per shard plus the surviving main edges.
+    auto retired = [&](const SyncEdge& e) { return e.shard == shard; };
+    s.writers.erase(
+        std::remove_if(s.writers.begin(), s.writers.end(), retired),
+        s.writers.end());
+    s.readers.erase(
+        std::remove_if(s.readers.begin(), s.readers.end(), retired),
+        s.readers.end());
+    s.writers.push_back({done, node, shard, relaxed});
   }
 
   // --- intersection tables ----------------------------------------------
@@ -267,6 +319,73 @@ struct Engine::Impl {
     t->declare_track(support::kRuntimePid, 1, "collectives", false);
   }
 
+  // --- race-checker instrumentation (ExecConfig::check) --------------------
+
+  // All host-side bookkeeping: when check_ is false nothing below is
+  // touched on the hot path, and when true the virtual timeline is
+  // unchanged (the log only copies event uids the engine wires anyway).
+  check::AccessLog log_;
+  sim::EventGraph graph_;
+  uint64_t stmt_seq_ = 0;  // statement instances, implicit program order
+  uint64_t cur_seq_ = 0;
+  const ir::Stmt* cur_stmt_ = nullptr;
+
+  bool mutated(const ir::Stmt& s) const {
+    return mutant_ != ir::kNoSyncId && s.sync_id == mutant_;
+  }
+
+  // Does this copy run under barrier synchronization (edges relaxed)?
+  // P2p copies keep their edges unless fault injection deletes them.
+  bool relaxed_copy(const ir::Stmt& s, const Ctx& ctx) const {
+    if (mode_ != ExecMode::kSpmd || ctx.shard == kMainEnv) return false;
+    if (s.copy_src == rt::kNoId || s.copy_dst == rt::kNoId) return false;
+    if (s.sync == ir::SyncMode::kP2P) return mutated(s);
+    return true;
+  }
+
+  // Physical-location keys: instance accesses use the InstanceSync index
+  // (even), scalar-reduction partials buffers their address (odd) — the
+  // two families can never collide.
+  static uint64_t place_of(const InstanceRef& ref) {
+    return uint64_t{ref.key} << 1;
+  }
+  static uint64_t place_of_partials(const std::vector<double>* p) {
+    return reinterpret_cast<uintptr_t>(p) | 1ull;
+  }
+
+  rt::RegionId region_root(rt::RegionId r) { return forest().region(r).root; }
+
+  static std::vector<uint64_t> uids_of(const std::vector<sim::Event>& pre) {
+    std::vector<uint64_t> out;
+    out.reserve(pre.size());
+    for (const sim::Event& e : pre) {
+      if (e.uid() != 0) out.push_back(e.uid());
+    }
+    return out;
+  }
+
+  void log_access(check::AccessType type, rt::ReduceOp redop, uint64_t place,
+                  rt::RegionId root, const std::vector<rt::FieldId>& fields,
+                  support::IntervalSet points, std::vector<uint64_t> starts,
+                  uint64_t done_uid, uint64_t sub, uint32_t shard,
+                  const char* what) {
+    check::Access a;
+    a.place = place;
+    a.root = root;
+    a.fields = fields;
+    a.points = std::move(points);
+    a.type = type;
+    a.redop = redop;
+    a.start_uids = std::move(starts);
+    a.done_uid = done_uid;
+    a.seq = cur_seq_;
+    a.sub = sub;
+    a.shard = shard;
+    a.stmt = cur_stmt_;
+    a.what = what;
+    log_.accesses.push_back(std::move(a));
+  }
+
   // --- misc ---------------------------------------------------------------
 
   ExecutionResult result_;
@@ -313,6 +432,14 @@ struct Engine::Impl {
 
   void exec_stmt(const ir::Stmt& s, std::vector<Ctx>& ctxs,
                  uint32_t num_shards) {
+    if (check_) {
+      // The unroll walks statements in lockstep across control contexts
+      // (the per-context loops live inside the exec_* functions), so one
+      // global counter bumped per statement visit *is* the implicit
+      // program's sequential order, including loop iterations.
+      cur_stmt_ = &s;
+      cur_seq_ = ++stmt_seq_;
+    }
     switch (s.kind) {
       case ir::StmtKind::kForTime:
         for (uint64_t t = 0; t < s.trip_count; ++t) {
@@ -455,9 +582,9 @@ struct Engine::Impl {
       InstanceSync& sy = sync_of(*insts[k]);
       if (rt::privilege_writes(a.privilege) ||
           a.privilege == rt::Privilege::kReduce) {
-        write_pre(sy, exec_node, pre);
+        write_pre(sy, exec_node, ctx.shard, false, pre);
       } else {
-        read_pre(sy, exec_node, pre);
+        read_pre(sy, exec_node, ctx.shard, false, pre);
       }
       // Implicit mode: the master performs dynamic dependence analysis
       // over the logical region tree. The virtual charge is the pairs an
@@ -478,14 +605,14 @@ struct Engine::Impl {
       const ir::RegionArg& a = s.args[k];
       if (rt::privilege_writes(a.privilege) ||
           a.privilege == rt::Privilege::kReduce) {
-        note_write(sync_of(*insts[k]), done.event(), exec_node);
+        note_write(sync_of(*insts[k]), done.event(), exec_node, ctx.shard);
       }
     }
     for (size_t k = 0; k < s.args.size(); ++k) {
       const ir::RegionArg& a = s.args[k];
       if (!rt::privilege_writes(a.privilege) &&
           a.privilege != rt::Privilege::kReduce) {
-        note_read(sync_of(*insts[k]), done.event(), exec_node);
+        note_read(sync_of(*insts[k]), done.event(), exec_node, ctx.shard);
       }
     }
 
@@ -498,6 +625,31 @@ struct Engine::Impl {
     }
 
     pre.push_back(charge(ctx, issue_ns, "issue:task"));
+
+    if (check_) {
+      const std::vector<uint64_t> starts = uids_of(pre);
+      for (size_t k = 0; k < s.args.size(); ++k) {
+        const ir::RegionArg& a = s.args[k];
+        const check::AccessType ty =
+            a.privilege == rt::Privilege::kReduce ? check::AccessType::kReduce
+            : rt::privilege_writes(a.privilege)   ? check::AccessType::kWrite
+                                                  : check::AccessType::kRead;
+        log_access(ty, a.redop, place_of(*insts[k]),
+                   region_root(insts[k]->region), a.fields,
+                   forest().region(insts[k]->region).ispace.points(), starts,
+                   done.event().uid(), color, ctx.shard, "task");
+      }
+      if (red != nullptr) {
+        // The point task also writes its slot of the scalar-reduction
+        // partials buffer, read later by the collective's fold.
+        support::IntervalSet slot;
+        slot.add_point(color);
+        log_access(check::AccessType::kWrite, rt::ReduceOp::kSum,
+                   place_of_partials(red->partials.get()), rt::kNoId, {0},
+                   std::move(slot), starts, done.event().uid(), color,
+                   ctx.shard, "partials");
+      }
+    }
 
     double duration =
         decl.cost_base_ns +
@@ -571,23 +723,23 @@ struct Engine::Impl {
       const ir::TaskParam& param = decl.params[k];
       if (rt::privilege_writes(param.privilege) ||
           param.privilege == rt::Privilege::kReduce) {
-        write_pre(sy, 0, pre);
+        write_pre(sy, 0, ctx.shard, false, pre);
       } else {
-        read_pre(sy, 0, pre);
+        read_pre(sy, 0, ctx.shard, false, pre);
       }
     }
     for (size_t k = 0; k < s.regions.size(); ++k) {
       const ir::TaskParam& param = decl.params[k];
       if (rt::privilege_writes(param.privilege) ||
           param.privilege == rt::Privilege::kReduce) {
-        note_write(sync_of(*insts[k]), done.event(), 0);
+        note_write(sync_of(*insts[k]), done.event(), 0, ctx.shard);
       }
     }
     for (size_t k = 0; k < s.regions.size(); ++k) {
       const ir::TaskParam& param = decl.params[k];
       if (!rt::privilege_writes(param.privilege) &&
           param.privilege != rt::Privilege::kReduce) {
-        note_read(sync_of(*insts[k]), done.event(), 0);
+        note_read(sync_of(*insts[k]), done.event(), 0, ctx.shard);
       }
     }
     auto captures = std::make_shared<Captures>();
@@ -597,6 +749,22 @@ struct Engine::Impl {
       captures->push_back({a, v.value});
     }
     pre.push_back(charge(ctx, cost_.single_task_issue_ns, "issue:single"));
+
+    if (check_) {
+      const std::vector<uint64_t> starts = uids_of(pre);
+      for (size_t k = 0; k < s.regions.size(); ++k) {
+        const ir::TaskParam& param = decl.params[k];
+        const check::AccessType ty =
+            param.privilege == rt::Privilege::kReduce
+                ? check::AccessType::kReduce
+            : rt::privilege_writes(param.privilege) ? check::AccessType::kWrite
+                                                    : check::AccessType::kRead;
+        log_access(ty, param.redop, place_of(*insts[k]),
+                   region_root(insts[k]->region), param.fields,
+                   forest().region(insts[k]->region).ispace.points(), starts,
+                   done.event().uid(), 0, ctx.shard, "single-task");
+      }
+    }
 
     const double duration =
         decl.cost_base_ns +
@@ -768,11 +936,12 @@ struct Engine::Impl {
     std::vector<sim::Event> pre;
     InstanceSync& ssy = sync_of(*src);
     InstanceSync& dsy = sync_of(*dst);
-    read_pre(ssy, req.src_node, pre);
+    const bool relaxed = relaxed_copy(s, ctx);
+    read_pre(ssy, req.src_node, ctx.shard, relaxed, pre);
     // Destination side: WAR against current readers, WAW against the
     // current write epoch. Reduction copies serialize the same way, which
     // fixes their fold order deterministically (issue order).
-    write_pre(dsy, req.dst_node, pre);
+    write_pre(dsy, req.dst_node, ctx.shard, relaxed, pre);
     double issue_ns = cost_.copy_issue_ns;
     if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
       // The master's dynamic analysis also covers runtime copies. The
@@ -808,8 +977,9 @@ struct Engine::Impl {
           rt_.copies().issue(req, sim::Event::merge(sim(), pre));
       delivered.subscribe(
           [completion](sim::Time) mutable { completion.trigger(); });
-      note_read(ssy, delivered, req.src_node);
-      note_write(dsy, delivered, req.dst_node);
+      note_read(ssy, delivered, req.src_node, ctx.shard, relaxed);
+      note_write(dsy, delivered, req.dst_node, ctx.shard, relaxed);
+      log_copy_access(s, pi, *src, *dst, pre, delivered, ctx);
       ctx.outstanding.push_back(delivered);
       return;
     }
@@ -817,9 +987,27 @@ struct Engine::Impl {
     pre.push_back(charge(ctx, issue_ns, "issue:copy"));
     sim::Event delivered =
         rt_.copies().issue(req, sim::Event::merge(sim(), pre));
-    note_read(ssy, delivered, req.src_node);
-    note_write(dsy, delivered, req.dst_node);
+    note_read(ssy, delivered, req.src_node, ctx.shard, relaxed);
+    note_write(dsy, delivered, req.dst_node, ctx.shard, relaxed);
+    log_copy_access(s, pi, *src, *dst, pre, delivered, ctx);
     ctx.outstanding.push_back(delivered);
+  }
+
+  void log_copy_access(const ir::Stmt& s, const PairInfo& pi,
+                       const InstanceRef& src, const InstanceRef& dst,
+                       const std::vector<sim::Event>& pre,
+                       sim::Event delivered, const Ctx& ctx) {
+    if (!check_) return;
+    const std::vector<uint64_t> starts = uids_of(pre);
+    const uint64_t sub = (pi.i << 32) | pi.j;  // unique per (src, dst) pair
+    log_access(check::AccessType::kRead, rt::ReduceOp::kSum, place_of(src),
+               region_root(src.region), s.copy_fields, pi.points, starts,
+               delivered.uid(), sub, ctx.shard, "copy-src");
+    log_access(s.copy_reduction ? check::AccessType::kReduce
+                                : check::AccessType::kWrite,
+               s.copy_redop, place_of(dst), region_root(dst.region),
+               s.copy_fields, pi.points, starts, delivered.uid(), sub,
+               ctx.shard, "copy-dst");
   }
 
   // --- fills -------------------------------------------------------------------
@@ -839,7 +1027,7 @@ struct Engine::Impl {
         InstanceRef& ref = part_instance(s.fill_dst, c);
         InstanceSync& sy = sync_of(ref);
         std::vector<sim::Event> pre;
-        write_pre(sy, ref.node, pre);
+        write_pre(sy, ref.node, ctx.shard, false, pre);
         pre.push_back(charge(ctx, cost_.fill_issue_ns, "issue:fill"));
         std::function<void()> work;
         if (rt_.instances() != nullptr) {
@@ -860,7 +1048,13 @@ struct Engine::Impl {
         sim::Event done = rt_.machine().proc(proc).spawn(
             sim::Event::merge(sim(), pre), ns(500), std::move(work),
             std::move(tag));
-        note_write(sy, done, ref.node);
+        note_write(sy, done, ref.node, ctx.shard);
+        if (check_) {
+          log_access(check::AccessType::kWrite, rt::ReduceOp::kSum,
+                     place_of(ref), region_root(ref.region), s.fill_fields,
+                     forest().region(ref.region).ispace.points(),
+                     uids_of(pre), done.uid(), c, ctx.shard, "fill");
+        }
         ctx.outstanding.push_back(done);
         track(done, "fill " + std::to_string(s.fill_dst) + "[" +
                         std::to_string(c) + "]");
@@ -872,6 +1066,12 @@ struct Engine::Impl {
 
   void exec_barrier(const ir::Stmt& s, std::vector<Ctx>& ctxs,
                     uint32_t num_shards) {
+    if (mutated(s)) {
+      // Fault injection: the barrier is deleted outright — no arrivals,
+      // no waits. The outstanding sets keep accumulating, so a later
+      // (unmutated) barrier still collects them and the run quiesces.
+      return;
+    }
     auto [it, inserted] = barriers_.try_emplace(&s);
     if (inserted) {
       it->second = std::make_unique<rt::PhaseBarrier>(sim(), rt_.network(),
@@ -959,6 +1159,15 @@ struct Engine::Impl {
       const rt::ReduceOp op = pr.op;
       env(kMainEnv).versions[s.coll_scalar].push_back(std::move(v));
       sim::Event all = sim::Event::merge(sim(), evs);
+      if (check_) {
+        // The fold reads every partials slot once all contributors done.
+        std::vector<uint64_t> starts;
+        if (all.uid() != 0) starts.push_back(all.uid());
+        log_access(check::AccessType::kRead, pr.op,
+                   place_of_partials(pr.partials.get()), rt::kNoId, {0},
+                   support::IntervalSet::range(0, pr.colors),
+                   std::move(starts), all.uid(), 0, kMainEnv, "scalar-fold");
+      }
       all.subscribe([value, partials, op, readyev](sim::Time) mutable {
         double acc = rt::reduce_identity(op);
         for (double d : *partials) acc = rt::reduce_fold(op, acc, d);
@@ -981,7 +1190,11 @@ struct Engine::Impl {
       auto partials = pr.partials;
       const rt::ReduceOp op = pr.op;
       auto block = passes::shard_block(pr.colors, num_shards, ctx.shard);
-      sim::Event local = sim::Event::merge(sim(), pr.events[ctx.shard]);
+      // Fault injection: contribute without waiting for the shard's point
+      // tasks — the gather no longer anchors the fold after the writers.
+      sim::Event local = mutated(s)
+                             ? sim::Event()
+                             : sim::Event::merge(sim(), pr.events[ctx.shard]);
       dc->contribute(gen, ctx.shard, local, [partials, op, block] {
         double acc = rt::reduce_identity(op);
         for (uint64_t c = block.begin; c < block.end; ++c) {
@@ -1000,6 +1213,25 @@ struct Engine::Impl {
             readyev.trigger();
           });
     }
+    if (check_) {
+      // Each contribution folds its shard's partials block. The gather
+      // event (the collective's merge of every arrival) is the anchor:
+      // it happens-after each shard's local precondition, and blocks are
+      // disjoint, so anchoring at the gather adds no false order. Under
+      // fault injection every arrival pre-triggers, the merge collapses
+      // to uid 0, and the fold reads become unanchored — a race against
+      // the point tasks' partials writes.
+      const uint64_t gather = dc->gather_uid(gen);
+      std::vector<uint64_t> starts;
+      if (gather != 0) starts.push_back(gather);
+      for (Ctx& ctx : ctxs) {
+        auto block = passes::shard_block(pr.colors, num_shards, ctx.shard);
+        log_access(check::AccessType::kRead, pr.op,
+                   place_of_partials(pr.partials.get()), rt::kNoId, {0},
+                   support::IntervalSet::range(block.begin, block.end),
+                   starts, gather, ctx.shard, ctx.shard, "partials-fold");
+      }
+    }
   }
 
   // ---------------------------------------------------------------------
@@ -1008,6 +1240,8 @@ struct Engine::Impl {
   const ir::Program& p_;
   CostModel cost_;
   ExecMode mode_;
+  const bool check_;            // record accesses + HB graph, run checker
+  const ir::SyncId mutant_;     // sync op deleted by fault injection
 };
 
 // ---------------------------------------------------------------------
@@ -1111,12 +1345,29 @@ std::function<void()> Engine::Impl::make_kernel_work(
 // =====================================================================
 
 Engine::Engine(rt::Runtime& rt, const ir::Program& program,
+               const ExecConfig& config)
+    : impl_(std::make_unique<Impl>(rt, program, config)) {
+  if (config.trace) enable_trace();
+}
+
+Engine::Engine(rt::Runtime& rt, const ir::Program& program,
                const CostModel& cost, ExecMode mode)
-    : impl_(std::make_unique<Impl>(rt, program, cost, mode)) {}
+    : Engine(rt, program, [&] {
+        ExecConfig config;
+        config.cost = cost;
+        config.mode = mode;
+        return config;
+      }()) {}
 
 Engine::~Engine() = default;
 
 ExecutionResult Engine::run() {
+  if (impl_->check_) {
+    // Record the happens-before DAG for the whole run: merge edges at
+    // unroll, trigger/dispatch causality during simulation.
+    impl_->graph_.clear();
+    impl_->sim().set_event_graph(&impl_->graph_);
+  }
   impl_->unroll();
   impl_->result_.makespan_ns = impl_->sim().run();
   if (impl_->live_ops_->count != 0) {
@@ -1158,6 +1409,11 @@ ExecutionResult Engine::run() {
       impl_->rt_.machine()
           .proc(impl_->rt_.mapper().control_proc(0))
           .busy_time();
+  if (impl_->check_) {
+    impl_->sim().set_event_graph(nullptr);
+    impl_->result_.check = std::make_shared<check::CheckResult>(
+        check::check(impl_->log_, impl_->graph_, impl_->p_));
+  }
   return impl_->result_;
 }
 

@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.h"
 #include "exec/cost_model.h"
+#include "exec/exec_config.h"
 #include "exec/report.h"
 #include "ir/program.h"
 #include "rt/barrier.h"
@@ -32,8 +34,6 @@
 #include "support/trace.h"
 
 namespace cr::exec {
-
-enum class ExecMode { kImplicit, kSpmd };
 
 struct ExecutionResult {
   sim::Time makespan_ns = 0;
@@ -49,12 +49,19 @@ struct ExecutionResult {
   // memo, intersection cache); virtual time depends only on
   // analysis.dep_pairs_scanned, never on the cache effectiveness.
   AnalysisStats analysis;
+  // Race-checker verdict; set only when ExecConfig::check was enabled.
+  std::shared_ptr<check::CheckResult> check;
 };
 
 class Engine {
  public:
   // `program` must already be transformed (prepare_distributed for
   // kImplicit, control_replicate for kSpmd) and must outlive the engine.
+  // config.pipeline is ignored here — it belongs to prepare(), which
+  // runs the passes and then constructs the engine with the same config.
+  Engine(rt::Runtime& rt, const ir::Program& program,
+         const ExecConfig& config);
+  // Deprecated shim (pre-ExecConfig signature); prefer the above.
   Engine(rt::Runtime& rt, const ir::Program& program, const CostModel& cost,
          ExecMode mode);
   ~Engine();

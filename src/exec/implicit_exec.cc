@@ -1,5 +1,7 @@
 #include "exec/implicit_exec.h"
 
+#include "support/check.h"
+
 namespace cr::exec {
 
 rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
@@ -13,15 +15,32 @@ rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
   return config;
 }
 
+PreparedRun prepare(rt::Runtime& rt, ir::Program source,
+                    const ExecConfig& config) {
+  ExecConfig cfg = config;
+  PreparedRun out;
+  out.program = std::make_unique<ir::Program>(std::move(source));
+  if (cfg.mode == ExecMode::kSpmd) {
+    if (cfg.pipeline.num_shards == 0) {
+      cfg.pipeline.num_shards = rt.machine().nodes();  // one shard per node
+    }
+    out.report = passes::control_replicate(*out.program, cfg.pipeline);
+    CR_CHECK_MSG(out.report.applied, out.report.failure.c_str());
+  } else {
+    out.report = passes::prepare_distributed(*out.program, cfg.pipeline);
+  }
+  out.engine = std::make_unique<Engine>(rt, *out.program, cfg);
+  return out;
+}
+
 PreparedRun prepare_implicit(rt::Runtime& rt, ir::Program source,
                              const CostModel& cost,
                              passes::PipelineOptions options) {
-  PreparedRun out;
-  out.program = std::make_unique<ir::Program>(std::move(source));
-  out.report = passes::prepare_distributed(*out.program, options);
-  out.engine = std::make_unique<Engine>(rt, *out.program, cost,
-                                        ExecMode::kImplicit);
-  return out;
+  ExecConfig config;
+  config.pipeline = options;
+  config.cost = cost;
+  config.mode = ExecMode::kImplicit;
+  return prepare(rt, std::move(source), config);
 }
 
 }  // namespace cr::exec

@@ -26,6 +26,15 @@ struct PreparedRun {
 rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
                                  const CostModel& cost, bool real_data);
 
+// The one entry point: transforms `source` per config.mode (the full
+// control-replication pipeline for kSpmd, distributed-memory preparation
+// for kImplicit) and binds an engine with the configured cost model and
+// instrumentation. config.pipeline.num_shards == 0 defaults to one shard
+// per node.
+PreparedRun prepare(rt::Runtime& rt, ir::Program source,
+                    const ExecConfig& config);
+
+// Deprecated shim (pre-ExecConfig signature); prefer prepare().
 PreparedRun prepare_implicit(rt::Runtime& rt, ir::Program source,
                              const CostModel& cost,
                              passes::PipelineOptions options = {});

@@ -1,22 +1,15 @@
 #include "exec/spmd_exec.h"
 
-#include "support/check.h"
-
 namespace cr::exec {
 
 PreparedRun prepare_spmd(rt::Runtime& rt, ir::Program source,
                          const CostModel& cost,
                          passes::PipelineOptions options) {
-  if (options.num_shards == 0) {
-    options.num_shards = rt.machine().nodes();  // one shard per node
-  }
-  PreparedRun out;
-  out.program = std::make_unique<ir::Program>(std::move(source));
-  out.report = passes::control_replicate(*out.program, options);
-  CR_CHECK_MSG(out.report.applied, out.report.failure.c_str());
-  out.engine =
-      std::make_unique<Engine>(rt, *out.program, cost, ExecMode::kSpmd);
-  return out;
+  ExecConfig config;
+  config.pipeline = options;
+  config.cost = cost;
+  config.mode = ExecMode::kSpmd;
+  return prepare(rt, std::move(source), config);
 }
 
 }  // namespace cr::exec

@@ -8,7 +8,9 @@
 
 namespace cr::exec {
 
-// `options.num_shards` defaults to one shard per node when zero.
+// Deprecated shim over prepare() (see implicit_exec.h); prefer building
+// an ExecConfig with mode = kSpmd. `options.num_shards` defaults to one
+// shard per node when zero.
 PreparedRun prepare_spmd(rt::Runtime& rt, ir::Program source,
                          const CostModel& cost,
                          passes::PipelineOptions options = {});

@@ -36,14 +36,19 @@ std::string part_name(const Program& p, rt::PartitionId id) {
 }
 
 void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
-                int indent) {
+                int indent, const PrintOptions& opt) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  // Sync-id annotation, appended right before the statement's newline.
+  const std::string sync =
+      opt.show_sync_ids && s.sync_id != kNoSyncId
+          ? " sync#" + std::to_string(s.sync_id)
+          : "";
   os << pad;
   switch (s.kind) {
     case StmtKind::kForTime:
       os << "for " << (s.label.empty() ? "t" : s.label) << " in 0.."
          << s.trip_count << ":\n";
-      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1);
+      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1, opt);
       return;
     case StmtKind::kIndexLaunch: {
       os << "launch " << p.task(s.task).name << " over " << s.launch_colors
@@ -98,7 +103,7 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
       if (s.copy_reduction) os << " op=" << redop_str(s.copy_redop);
       if (s.isect != kNoIntersect) os << " isect#" << s.isect;
       if (s.sync == SyncMode::kP2P) os << " sync=p2p";
-      os << "\n";
+      os << sync << "\n";
       return;
     }
     case StmtKind::kFill:
@@ -106,7 +111,7 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
          << fields_str(s.fill_fields) << " = " << s.fill_value << "\n";
       return;
     case StmtKind::kBarrier:
-      os << "barrier\n";
+      os << "barrier" << sync << "\n";
       return;
     case StmtKind::kIntersect:
       os << "intersect#" << s.isect_id << " = " << part_name(p, s.isect_src)
@@ -114,11 +119,11 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
       return;
     case StmtKind::kCollective:
       os << "collective " << p.scalar(s.coll_scalar).name << " "
-         << redop_str(s.coll_op) << "\n";
+         << redop_str(s.coll_op) << sync << "\n";
       return;
     case StmtKind::kShardBody:
       os << "shards " << s.num_shards << ":\n";
-      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1);
+      for (const Stmt& c : s.body) print_stmt(os, c, p, indent + 1, opt);
       return;
   }
   CR_UNREACHABLE("bad statement kind");
@@ -127,15 +132,26 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
 }  // namespace
 
 std::string to_string(const Stmt& stmt, const Program& program, int indent) {
+  return to_string(stmt, program, indent, PrintOptions{});
+}
+
+std::string to_string(const Stmt& stmt, const Program& program, int indent,
+                      const PrintOptions& options) {
   std::ostringstream os;
-  print_stmt(os, stmt, program, indent);
+  print_stmt(os, stmt, program, indent, options);
   return os.str();
 }
 
 std::string to_string(const Program& program, bool with_decls) {
+  PrintOptions opt;
+  opt.with_decls = with_decls;
+  return to_string(program, opt);
+}
+
+std::string to_string(const Program& program, const PrintOptions& options) {
   std::ostringstream os;
   os << "program " << program.name << "\n";
-  if (with_decls) {
+  if (options.with_decls) {
     for (const TaskDecl& t : program.tasks) {
       os << "task " << t.name << "(";
       for (size_t i = 0; i < t.params.size(); ++i) {
@@ -149,7 +165,9 @@ std::string to_string(const Program& program, bool with_decls) {
       os << "var " << s.name << " = " << s.init << "\n";
     }
   }
-  for (const Stmt& s : program.body) print_stmt(os, s, program, 0);
+  for (const Stmt& s : program.body) {
+    print_stmt(os, s, program, 0, options);
+  }
   return os.str();
 }
 

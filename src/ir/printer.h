@@ -9,10 +9,21 @@
 
 namespace cr::ir {
 
+struct PrintOptions {
+  bool with_decls = false;
+  // Annotate sync ops (p2p copies, barriers, collectives) with their
+  // stable SyncId — used by the per-pass golden snapshots and the race
+  // checker's mutation sweep, off by default to keep legacy goldens.
+  bool show_sync_ids = false;
+};
+
 // Print the statement body (declarations omitted unless `with_decls`).
 std::string to_string(const Program& program, bool with_decls = false);
+std::string to_string(const Program& program, const PrintOptions& options);
 
 std::string to_string(const Stmt& stmt, const Program& program,
                       int indent = 0);
+std::string to_string(const Stmt& stmt, const Program& program, int indent,
+                      const PrintOptions& options);
 
 }  // namespace cr::ir

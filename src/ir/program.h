@@ -26,6 +26,14 @@ using TaskId = uint32_t;
 using IntersectId = uint32_t;
 inline constexpr uint32_t kNoIntersect = UINT32_MAX;
 
+// Stable id of a compiler-inserted synchronization op. The passes that
+// emit synchronization (sync_insertion: p2p copies and barriers;
+// scalar_reduction: collectives) number them from Program::num_sync_ops
+// so the race checker's fault-injection mode can address one mutant at
+// a time. kNoSyncId marks statements that are not sync ops.
+using SyncId = uint32_t;
+inline constexpr SyncId kNoSyncId = UINT32_MAX;
+
 // ---------------------------------------------------------------------
 // Kernel interface
 // ---------------------------------------------------------------------
@@ -182,6 +190,9 @@ struct Stmt {
 
   // kShardBody
   uint32_t num_shards = 0;
+
+  // Sync-op identity for kBarrier / kCollective / p2p-marked kCopy.
+  SyncId sync_id = kNoSyncId;
 };
 
 // ---------------------------------------------------------------------
@@ -196,6 +207,8 @@ struct Program {
   std::vector<Stmt> body;
   // Number of intersection tables allocated by passes.
   uint32_t num_intersects = 0;
+  // Number of sync-op ids allocated by passes (see SyncId).
+  uint32_t num_sync_ops = 0;
 
   const TaskDecl& task(TaskId id) const;
   const ScalarDecl& scalar(ScalarId id) const;

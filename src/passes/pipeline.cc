@@ -2,109 +2,34 @@
 
 #include "ir/verify.h"
 #include "passes/applicability.h"
-#include "passes/copy_placement.h"
-#include "passes/data_replication.h"
-#include "passes/hierarchical.h"
-#include "passes/intersection_opt.h"
-#include "passes/projection_normalize.h"
-#include "passes/region_reduction.h"
-#include "passes/scalar_reduction.h"
-#include "passes/shard_creation.h"
-#include "passes/sync_insertion.h"
-#include "support/check.h"
+#include "passes/pass_manager.h"
 
 namespace cr::passes {
 
 namespace {
 
-// Transform one fragment in place (paper §3, all stages), accumulating
-// statistics into `report`.
-void transform_fragment(ir::Program& program, Fragment fragment,
-                        const PipelineOptions& options, bool to_spmd,
-                        PipelineReport& report) {
-  report.fragment_statements += fragment.end - fragment.begin;
-
-  // §2.2: normalize p[f(i)] arguments to identity projections.
-  report.projections_normalized += projection_normalize(program, fragment);
-
-  // §3.1: per-partition storage + coherence copies.
-  ir::StaticRegionTree oracle =
-      make_alias_oracle(program, options.hierarchical);
-  DataReplicationResult repl = data_replication(program, fragment, oracle);
-  report.init_copies += repl.init.size();
-  report.inner_copies += repl.inner_copies;
-  report.finalize_copies += repl.finalize.size();
-
-  // §4.3: reduction instances and reduction copies.
-  report.reductions_rewritten += region_reduction(program, fragment, oracle);
-
-  // §3.2: PRE + LICM on the partition-granularity copies.
-  if (options.copy_placement) {
-    CopyPlacementResult placed = copy_placement(program, fragment);
-    report.copies_removed += placed.removed;
-    report.copies_hoisted += placed.hoisted;
-  }
-
-  // §3.3: intersection tables; the kIntersect statements are hoisted in
-  // front of the fragment (loop-invariant, computed once).
-  std::vector<ir::Stmt> pre;
-  if (options.intersection_opt) {
-    IntersectionOptResult isect = intersection_opt(program, fragment);
-    report.intersection_tables += isect.tables.size();
-    pre = std::move(isect.tables);
-  }
-
-  // §4.4: scalar reductions via dynamic collectives.
-  ScalarReductionResult scalars = scalar_reduction(program, fragment);
-  report.collectives += scalars.collectives;
-  CR_CHECK_MSG(scalars.violations.empty(),
-               "scalar replication-safety violation");
-
-  if (to_spmd) {
-    // §3.4: synchronization.
-    SyncInsertionResult sync =
-        sync_insertion(program, fragment, options.p2p_sync);
-    report.p2p_copies += sync.p2p_copies;
-    report.barriers += sync.barriers;
-
-    // §3.5: extract the shard task.
-    shard_creation(program, fragment, options.num_shards);
-  }
-
-  // Splice initialization / intersections before and finalization after
-  // the fragment (or the shard launch that replaced it).
-  auto at = [&](size_t idx) {
-    return program.body.begin() + static_cast<long>(idx);
-  };
-  program.body.insert(at(fragment.end),
-                      std::make_move_iterator(repl.finalize.begin()),
-                      std::make_move_iterator(repl.finalize.end()));
-  program.body.insert(at(fragment.begin),
-                      std::make_move_iterator(pre.begin()),
-                      std::make_move_iterator(pre.end()));
-  program.body.insert(at(fragment.begin),
-                      std::make_move_iterator(repl.init.begin()),
-                      std::make_move_iterator(repl.init.end()));
-}
-
 PipelineReport run_pipeline(ir::Program& program,
                             const PipelineOptions& options, bool to_spmd) {
-  PipelineReport report;
   ir::verify_or_die(program);
 
   std::string why;
   std::vector<Fragment> fragments = find_fragments(program, &why);
   if (fragments.empty()) {
+    PipelineReport report;
     report.failure = why;
     return report;
   }
+
+  PassManager manager = make_pipeline(options, to_spmd);
+  PassContext ctx(program, options, to_spmd);
   // Transform back to front so earlier fragments' indices stay valid
   // while later ones grow the statement list.
   for (auto it = fragments.rbegin(); it != fragments.rend(); ++it) {
-    transform_fragment(program, *it, options, to_spmd, report);
+    manager.run_fragment(program, *it, ctx);
   }
 
   if (to_spmd) ir::verify_or_die(program);
+  PipelineReport report = report_from_stats(ctx);
   report.applied = true;
   return report;
 }

@@ -12,6 +12,7 @@
 // never to an incorrect program.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@ struct PipelineReport {
   size_t collectives = 0;
   size_t p2p_copies = 0;
   size_t barriers = 0;
+  // The uniform per-pass counters the fields above are derived from,
+  // keyed "<pass>.<counter>" (see passes/pass_manager.h).
+  std::map<std::string, uint64_t> stats;
 };
 
 // Transform `program` in place. Returns the report; when the program is

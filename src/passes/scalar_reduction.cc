@@ -21,6 +21,7 @@ class ScalarLowering {
       coll.kind = ir::StmtKind::kCollective;
       coll.coll_scalar = s.scalar_red->target;
       coll.coll_op = s.scalar_red->op;
+      coll.sync_id = program_.num_sync_ops++;
       body.insert(body.begin() + static_cast<long>(i) + 1, std::move(coll));
       ++i;
       ++result.collectives;

@@ -36,6 +36,7 @@ void DynamicCollective::maybe_wire(Generation& g) {
   if (g.wired || g.arrivals.size() < participants_) return;
   g.wired = true;
   sim::Event all = sim::Event::merge(*sim_, g.arrivals);
+  g.gather_uid = all.uid();
   const sim::Time latency = 2 * net_->tree_latency(participants_);
   Generation* gp = &g;
   ReduceOp op = op_;
@@ -57,6 +58,11 @@ void DynamicCollective::maybe_wire(Generation& g) {
 
 sim::Event DynamicCollective::result_event(uint64_t generation) {
   return gen(generation).done->event();
+}
+
+uint64_t DynamicCollective::gather_uid(uint64_t generation) const {
+  auto it = generations_.find(generation);
+  return it != generations_.end() ? it->second.gather_uid : 0;
 }
 
 double DynamicCollective::result(uint64_t generation) const {

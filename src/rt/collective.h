@@ -40,6 +40,13 @@ class DynamicCollective {
   // Valid once result_event(generation) has triggered.
   double result(uint64_t generation) const;
 
+  // Uid of the internal merge-of-arrivals event for `generation`: the
+  // point in the happens-before graph where the fold reads every
+  // contribution. 0 until all contributions are in (or when every
+  // arrival was already triggered — i.e. the gather waits on nothing).
+  // The race checker anchors the fold's reads here.
+  uint64_t gather_uid(uint64_t generation) const;
+
  private:
   struct Generation {
     // Indexed by rank: sampling thunks, filled as contributions arrive.
@@ -48,6 +55,7 @@ class DynamicCollective {
     std::unique_ptr<sim::UserEvent> done;
     double result = 0;
     bool wired = false;
+    uint64_t gather_uid = 0;
   };
   Generation& gen(uint64_t g);
   void maybe_wire(Generation& g);

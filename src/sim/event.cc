@@ -14,7 +14,17 @@ void Event::subscribe(std::function<void(Time)> fn) const {
     return;
   }
   if (state_->triggered) {
-    fn(state_->trigger_time);
+    // A subscription on an already-triggered event still establishes a
+    // causal link: anything fn does is caused by this event.
+    Simulator* sim = state_->sim;
+    if (sim != nullptr && sim->event_graph() != nullptr) {
+      const uint64_t prev = sim->current_cause();
+      sim->set_current_cause(state_->uid);
+      fn(state_->trigger_time);
+      sim->set_current_cause(prev);
+    } else {
+      fn(state_->trigger_time);
+    }
     return;
   }
   state_->waiters.push_back(std::move(fn));
@@ -33,6 +43,12 @@ Event Event::merge(Simulator& sim, const std::vector<Event>& events) {
   auto remaining = std::make_shared<size_t>(pending);
   Simulator* simp = &sim;
   const uint64_t merged_uid = merged.event().uid();
+  if (EventGraph* g = sim.event_graph()) {
+    // Every input — including ones already triggered by unroll-time
+    // wiring — happens-before the merged event. Recording the triggered
+    // ones too keeps the graph exact rather than schedule-dependent.
+    for (const Event& e : events) g->edge(e.uid(), merged_uid);
+  }
   for (const Event& e : events) {
     if (e.has_triggered()) continue;
     const uint64_t input_uid = e.uid();
@@ -54,6 +70,7 @@ Event Event::merge(Simulator& sim, const std::vector<Event>& events) {
 UserEvent::UserEvent(Simulator& sim)
     : sim_(&sim), state_(std::make_shared<detail::EventState>()) {
   state_->uid = sim.new_event_uid();
+  state_->sim = &sim;
 }
 
 void UserEvent::trigger() {
@@ -62,7 +79,18 @@ void UserEvent::trigger() {
   state_->trigger_time = sim_->now();
   auto waiters = std::move(state_->waiters);
   state_->waiters.clear();
-  for (auto& fn : waiters) fn(state_->trigger_time);
+  if (EventGraph* g = sim_->event_graph()) {
+    // Whatever caused this trigger happens-before it, and this event
+    // is the cause of everything its waiters do (including callbacks
+    // they schedule — schedule_at captures the ambient cause).
+    g->edge(sim_->current_cause(), state_->uid);
+    const uint64_t prev = sim_->current_cause();
+    sim_->set_current_cause(state_->uid);
+    for (auto& fn : waiters) fn(state_->trigger_time);
+    sim_->set_current_cause(prev);
+  } else {
+    for (auto& fn : waiters) fn(state_->trigger_time);
+  }
 }
 
 }  // namespace cr::sim

@@ -19,6 +19,7 @@ using Time = uint64_t;  // virtual nanoseconds
 namespace detail {
 struct EventState {
   uint64_t uid = 0;  // unique per simulator, for trace dependence edges
+  Simulator* sim = nullptr;  // for happens-before cause propagation
   bool triggered = false;
   Time trigger_time = 0;
   std::vector<std::function<void(Time)>> waiters;

@@ -1,0 +1,42 @@
+// A happens-before recorder for event wiring. When attached to a
+// Simulator, every causal relationship between events is logged as a
+// (predecessor uid, successor uid) edge as it is established:
+//   - Event::merge records one edge per input into the merged event,
+//   - UserEvent::trigger records an edge from the ambient "cause" (the
+//     event whose trigger or subscription led, possibly through
+//     scheduled callbacks, to this trigger),
+//   - Simulator::schedule_at captures the ambient cause so that edges
+//     survive deferred callbacks (processor spans, network deliveries,
+//     barrier/collective wiring).
+// The resulting edge list is the ground-truth happens-before DAG the
+// race checker walks. Like the Tracer, a detached graph is the
+// zero-cost disabled path: no edges are recorded and the virtual
+// timeline is unaffected either way.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cr::sim {
+
+class EventGraph {
+ public:
+  // Record "from happens-before to". Edges touching the no-event
+  // (uid 0) carry no information and are dropped.
+  void edge(uint64_t from, uint64_t to) {
+    if (from == 0 || to == 0 || from == to) return;
+    edges_.push_back({from, to});
+  }
+
+  const std::vector<std::pair<uint64_t, uint64_t>>& edges() const {
+    return edges_;
+  }
+
+  void clear() { edges_.clear(); }
+
+ private:
+  std::vector<std::pair<uint64_t, uint64_t>> edges_;
+};
+
+}  // namespace cr::sim

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/event.h"
+#include "sim/event_graph.h"
 
 namespace cr::support {
 class Tracer;
@@ -29,6 +30,17 @@ class Simulator {
   // null tracer is the zero-cost disabled path.
   void set_tracer(support::Tracer* tracer) { tracer_ = tracer; }
   support::Tracer* tracer() const { return tracer_; }
+
+  // Attach (or detach with nullptr) a happens-before edge recorder.
+  // Same contract as the tracer: null means disabled and free.
+  void set_event_graph(EventGraph* graph) { graph_ = graph; }
+  EventGraph* event_graph() const { return graph_; }
+
+  // The uid of the event whose trigger (or triggered-subscription) is
+  // causally responsible for the code currently running; 0 when none.
+  // Captured by schedule_at so causality crosses deferred callbacks.
+  uint64_t current_cause() const { return current_cause_; }
+  void set_current_cause(uint64_t cause) { current_cause_ = cause; }
 
   // Unique id for a new event's trace identity.
   uint64_t new_event_uid() { return ++next_event_uid_; }
@@ -50,6 +62,7 @@ class Simulator {
   struct Entry {
     Time time;
     uint64_t seq;
+    uint64_t cause;  // ambient current_cause() at schedule time
     std::function<void()> fn;
   };
   struct Later {
@@ -61,7 +74,9 @@ class Simulator {
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_event_uid_ = 0;
+  uint64_t current_cause_ = 0;
   support::Tracer* tracer_ = nullptr;
+  EventGraph* graph_ = nullptr;
   uint64_t events_processed_ = 0;
   bool running_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

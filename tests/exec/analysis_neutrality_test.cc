@@ -1,10 +1,12 @@
 // Virtual-time neutrality of the analysis fast path: tracing, the
-// indexed dependence tracker, and the memoization caches change how fast
-// the host computes the schedule — never the schedule itself. Every
-// combination of {traced, untraced} x {indexed, linear-scan} must
-// produce bit-identical simulated makespans and output data.
+// indexed dependence tracker, the memoization caches, and the race
+// checker change how fast the host computes the schedule — never the
+// schedule itself. Every combination of {traced, untraced} x {indexed,
+// linear-scan} x {checked, unchecked} must produce bit-identical
+// simulated makespans and output data.
 #include <gtest/gtest.h>
 
+#include "exec/implicit_exec.h"
 #include "exec/spmd_exec.h"
 #include "testing/fig2.h"
 
@@ -19,16 +21,24 @@ struct Observed {
   std::vector<double> data;
 };
 
-Observed run_fig2(bool spmd, bool traced, bool linear_scan) {
+Observed run_fig2(bool spmd, bool traced, bool linear_scan,
+                  bool check = false) {
   CostModel cost;
   cost.track_dependences = true;
   rt::Runtime rt(runtime_config(4, 4, cost, /*real_data=*/true));
   rt.deps().set_linear_scan(linear_scan);
   testing::Fig2 fig(rt.forest(), 48, 8, 3);
-  PreparedRun run = spmd ? prepare_spmd(rt, fig.program, cost, {})
-                         : prepare_implicit(rt, fig.program, cost, {});
+  ExecConfig cfg;
+  cfg.cost = cost;
+  cfg.mode = spmd ? ExecMode::kSpmd : ExecMode::kImplicit;
+  cfg.check = check;
+  PreparedRun run = prepare(rt, fig.program, cfg);
   if (traced) run.engine->enable_trace();
   ExecutionResult res = run.run();
+  if (check) {
+    EXPECT_NE(res.check, nullptr);
+    EXPECT_TRUE(res.check->ok()) << res.check->to_text();
+  }
   Observed out;
   out.makespan = res.makespan_ns;
   out.bytes = res.bytes_moved;
@@ -57,6 +67,23 @@ TEST(AnalysisNeutrality, ImplicitInvariantAcrossTracingAndIndexing) {
       // Same schedule implies the same dependences were discovered.
       EXPECT_EQ(got.dependences, ref.dependences);
     }
+  }
+}
+
+// The race checker records every instance access plus the HB event
+// graph — all host-side bookkeeping. The virtual timeline with the
+// checker on must be bit-identical to the checker-off reference.
+TEST(AnalysisNeutrality, CheckerInvariantImplicitAndSpmd) {
+  for (const bool spmd : {false, true}) {
+    const Observed ref =
+        run_fig2(spmd, /*traced=*/false, /*linear_scan=*/false);
+    const Observed got = run_fig2(spmd, /*traced=*/false,
+                                  /*linear_scan=*/false, /*check=*/true);
+    EXPECT_EQ(got.makespan, ref.makespan) << "spmd=" << spmd;
+    EXPECT_EQ(got.bytes, ref.bytes);
+    EXPECT_EQ(got.messages, ref.messages);
+    EXPECT_EQ(got.data, ref.data);
+    EXPECT_EQ(got.dependences, ref.dependences);
   }
 }
 

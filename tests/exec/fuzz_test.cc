@@ -299,8 +299,18 @@ TEST_P(CrFuzz, ImplicitAndSpmdMatchOracle) {
     rt::Runtime rt(runtime_config(nodes, 3, cost, true));
     support::Rng r2 = rng.split(1);
     RandomProgram rp = make_random_program(rt.forest(), r2, colors);
-    PreparedRun run = prepare_spmd(rt, rp.program, cost, opt);
-    run.run();
+    // Run SPMD under the race checker: beyond matching the oracle's
+    // data, the inserted synchronization must *order* every conflicting
+    // access pair — data equality alone can be schedule luck.
+    ExecConfig cfg;
+    cfg.pipeline = opt;
+    cfg.cost = cost;
+    cfg.mode = ExecMode::kSpmd;
+    cfg.check = true;
+    PreparedRun run = prepare(rt, rp.program, cfg);
+    ExecutionResult res = run.run();
+    ASSERT_TRUE(res.check->ok())
+        << "seed " << GetParam() << ": " << res.check->to_text();
     check(*run.engine, rp, "spmd");
   }
 }
