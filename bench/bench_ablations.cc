@@ -225,7 +225,7 @@ void ablation_mapping(bench::Bench& bench) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::Bench bench(argc, argv);
+  cr::bench::Bench bench("ablations", argc, argv);
   ablation_intersections(bench);
   ablation_sync(bench);
   ablation_hierarchy(bench);

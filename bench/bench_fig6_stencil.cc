@@ -147,7 +147,7 @@ double run_mpi(uint32_t nodes, bool openmp) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::Bench bench(argc, argv);
+  cr::bench::Bench bench("stencil", argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)",
        [&](uint32_t n) { return run_engine(bench, n, true); }},
@@ -164,5 +164,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", report.to_table().c_str());
   dependence_study(bench, report);
   bench.write_analysis_json(report);
+  bench.write_metrics_json(report);
   return bench.finish();
 }

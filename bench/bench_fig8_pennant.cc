@@ -83,7 +83,7 @@ double run_mpi(uint32_t nodes, bool openmp) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::Bench bench(argc, argv);
+  cr::bench::Bench bench("pennant", argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)", [&](uint32_t n) { return run_engine(bench, n, true); }},
       {"Regent (w/o CR)", [&](uint32_t n) { return run_engine(bench, n, false); }},
@@ -95,5 +95,6 @@ int main(int argc, char** argv) {
       "10^6 zones/s per node", 1e6, kPaperZonesPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
   bench.write_analysis_json(report);
+  bench.write_metrics_json(report);
   return bench.finish();
 }

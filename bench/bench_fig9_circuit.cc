@@ -59,7 +59,7 @@ double run_engine(bench::Bench& bench, uint32_t nodes, bool spmd) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cr::bench::Bench bench(argc, argv);
+  cr::bench::Bench bench("circuit", argc, argv);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)", [&](uint32_t n) { return run_engine(bench, n, true); }},
       {"Regent (w/o CR)", [&](uint32_t n) { return run_engine(bench, n, false); }},
@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
       "10^3 nodes/s per node", 1e3, kPaperNodesPerMachineNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
   bench.write_analysis_json(report);
+  bench.write_metrics_json(report);
   return bench.finish();
 }

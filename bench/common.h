@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -155,11 +156,21 @@ struct BenchOptions {
   // --check-mutate=<id>: delete/weaken sync op <id> (ir::SyncId) in the
   // SPMD runs; the checker must then report a race. Implies --check.
   int64_t check_mutate = -1;
+  // --metrics[=<path>]: write every recorded point's registry snapshot
+  // (ExecutionResult::metrics) plus makespan and attribution as one
+  // BENCH_metrics JSON document — the bench_diff input. Empty = off.
+  std::string metrics_path;
 
-  void register_flags(FlagSet& flags) {
+  // Default artifact names carry the app name so several benches run
+  // from one directory (CI) never clobber each other's output.
+  void register_flags(FlagSet& flags, const std::string& app) {
+    analysis_path = "BENCH_analysis." + app + ".json";
     flags.add_string("trace", "<path>",
                      "write Chrome trace JSON + breakdown per run",
-                     &trace_path, "trace.json");
+                     &trace_path, "trace." + app + ".json");
+    flags.add_string("metrics", "<path>",
+                     "write per-point metrics snapshot JSON (bench_diff)",
+                     &metrics_path, "BENCH_metrics." + app + ".json");
     flags.add("selftime", "[=<path>]",
               "profile host-side dynamic analysis (JSON artifact)",
               [this](const std::string& value, bool has_value) {
@@ -196,6 +207,13 @@ struct LastAnalysis {
   exec::AnalysisStats stats;
 };
 
+// Registry snapshot of the most recent engine run (--metrics).
+struct LastMetrics {
+  bool valid = false;
+  double makespan_ns = 0;
+  std::map<std::string, double> values;
+};
+
 // --- the per-process bench driver -------------------------------------
 
 // Owns the parsed options and the run-to-run state (trace breakdowns,
@@ -203,12 +221,15 @@ struct LastAnalysis {
 // singletons. Construct one in main() and thread it by reference.
 class Bench {
  public:
-  Bench(int argc, char** argv) {
-    options_.register_flags(flags_);
+  // `app` scopes the default artifact filenames (trace.<app>.json,
+  // BENCH_analysis.<app>.json, BENCH_metrics.<app>.json).
+  Bench(std::string app, int argc, char** argv) : app_(std::move(app)) {
+    options_.register_flags(flags_, app_);
     if (!flags_.parse(argc, argv)) std::exit(2);
   }
 
   const BenchOptions& options() const { return options_; }
+  const std::string& app() const { return app_; }
 
   // The ExecConfig for one engine run, honoring --check/--check-mutate
   // (the mutation applies to SPMD runs only; sync ids do not exist
@@ -235,6 +256,11 @@ class Bench {
       last_analysis_.valid = true;
       last_analysis_.stats = r.analysis;
     }
+    if (!options_.metrics_path.empty()) {
+      last_metrics_.valid = true;
+      last_metrics_.makespan_ns = static_cast<double>(r.makespan_ns);
+      last_metrics_.values = r.metrics;
+    }
     if (r.check != nullptr) {
       ++checked_runs_;
       check_accesses_ += r.check->stats.accesses;
@@ -256,6 +282,13 @@ class Bench {
   // with the analysis counters and host wall-clock. No-op unless
   // --selftime.
   void write_analysis_json(const exec::ScalingReport& report) const;
+
+  // Write the --metrics artifact: every recorded point's registry
+  // snapshot, makespan and attribution rows. Strictly virtual-time
+  // quantities (no host wall-clock), so the output is bit-stable across
+  // machines and safe to commit as a bench_diff baseline. No-op unless
+  // --metrics.
+  void write_metrics_json(const exec::ScalingReport& report) const;
 
   // Prints the checker tally and returns the process exit code: with
   // --check, nonzero when a race was found; with --check-mutate,
@@ -280,10 +313,13 @@ class Bench {
  private:
   friend class TraceScope;
 
+  std::string app_;
   FlagSet flags_;
   BenchOptions options_;
   LastBreakdown last_breakdown_;
   LastAnalysis last_analysis_;
+  LastMetrics last_metrics_;
+  std::vector<support::TraceAttributionRow> last_attribution_;
   uint64_t checked_runs_ = 0;
   uint64_t check_accesses_ = 0;
   uint64_t check_pairs_ = 0;
@@ -340,6 +376,7 @@ class TraceScope {
     lb.copy = sum.breakdown.copy_frac();
     lb.sync = sum.breakdown.sync_frac();
     lb.idle = sum.breakdown.idle_frac();
+    bench_->last_attribution_ = sum.attribution;
   }
 
  private:
@@ -392,6 +429,8 @@ inline exec::ScalingReport Bench::sweep(
       pt.nodes = n;
       last_breakdown_.valid = false;
       last_analysis_.valid = false;
+      last_metrics_.valid = false;
+      last_attribution_.clear();
       const auto host_begin = std::chrono::steady_clock::now();
       pt.seconds = spec.run(n);
       const double host_seconds =
@@ -410,6 +449,12 @@ inline exec::ScalingReport Bench::sweep(
         pt.sync_frac = last_breakdown_.sync;
         pt.idle_frac = last_breakdown_.idle;
       }
+      if (last_metrics_.valid) {
+        pt.has_metrics = true;
+        pt.makespan_ns = last_metrics_.makespan_ns;
+        pt.metrics = last_metrics_.values;
+      }
+      pt.attribution = last_attribution_;
       pt.work_per_node = work_per_node;
       pt.iterations = iterations;
       series.points.push_back(pt);
@@ -450,6 +495,69 @@ inline void Bench::write_analysis_json(
   std::fclose(f);
   std::fprintf(stderr, "  analysis counters: %s\n",
                options_.analysis_path.c_str());
+}
+
+namespace detail {
+
+// JSON number with integral values printed exactly (no fraction), so
+// counter snapshots diff cleanly.
+inline void write_json_number(FILE* f, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::fprintf(f, "%lld", static_cast<long long>(v));
+  } else {
+    std::fprintf(f, "%.17g", v);
+  }
+}
+
+}  // namespace detail
+
+inline void Bench::write_metrics_json(
+    const exec::ScalingReport& report) const {
+  if (options_.metrics_path.empty()) return;
+  FILE* f = std::fopen(options_.metrics_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", options_.metrics_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"app\": \"%s\",\n  \"series\": [\n", app_.c_str());
+  for (size_t si = 0; si < report.series.size(); ++si) {
+    const exec::ScalingSeries& s = report.series[si];
+    std::fprintf(f, "    {\"name\": \"%s\", \"points\": [\n", s.name.c_str());
+    bool first_pt = true;
+    for (const exec::ScalingPoint& p : s.points) {
+      if (!p.has_metrics) continue;
+      std::fprintf(f, "%s      {\"nodes\": %u, \"virtual_seconds\": %.9g, "
+                      "\"makespan_ns\": ",
+                   first_pt ? "" : ",\n", p.nodes, p.seconds);
+      detail::write_json_number(f, p.makespan_ns);
+      std::fprintf(f, ",\n       \"metrics\": {");
+      bool first_m = true;
+      for (const auto& [key, value] : p.metrics) {
+        std::fprintf(f, "%s\"%s\": ", first_m ? "" : ", ", key.c_str());
+        detail::write_json_number(f, value);
+        first_m = false;
+      }
+      std::fprintf(f, "},\n       \"attribution\": [");
+      for (size_t ai = 0; ai < p.attribution.size(); ++ai) {
+        const support::TraceAttributionRow& r = p.attribution[ai];
+        std::fprintf(f,
+                     "%s{\"source\": %u, \"label\": \"%s\", \"copy_ns\": ",
+                     ai == 0 ? "" : ", ", r.source, r.label.c_str());
+        detail::write_json_number(f, r.copy_ns);
+        std::fprintf(f, ", \"sync_ns\": ");
+        detail::write_json_number(f, r.sync_ns);
+        std::fprintf(f, ", \"spans\": %llu}",
+                     static_cast<unsigned long long>(r.spans));
+      }
+      std::fprintf(f, "]}");
+      first_pt = false;
+    }
+    std::fprintf(f, "\n    ]}%s\n", si + 1 < report.series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "  metrics snapshot: %s\n",
+               options_.metrics_path.c_str());
 }
 
 // Measure the steady-state per-iteration time of an engine execution by

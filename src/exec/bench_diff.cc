@@ -1,0 +1,185 @@
+#include "exec/bench_diff.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/json.h"
+
+namespace cr::exec {
+
+namespace {
+
+std::string read_file(const std::string& path, std::string* err) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *err = "cannot open " + path;
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// series name -> nodes -> point object.
+using PointMap =
+    std::map<std::string, std::map<double, const support::JsonValue*>>;
+
+PointMap collect_points(const support::JsonValue& doc, const char* which,
+                        std::vector<std::string>& errors) {
+  PointMap out;
+  const support::JsonValue* series = doc.get("series");
+  if (series == nullptr || !series->is_array()) {
+    errors.push_back(std::string(which) + ": no \"series\" array");
+    return out;
+  }
+  for (const support::JsonValue& s : series->arr) {
+    const support::JsonValue* name = s.get("name");
+    const support::JsonValue* points = s.get("points");
+    if (name == nullptr || !name->is_string() || points == nullptr ||
+        !points->is_array()) {
+      errors.push_back(std::string(which) + ": malformed series entry");
+      continue;
+    }
+    for (const support::JsonValue& p : points->arr) {
+      const support::JsonValue* nodes = p.get("nodes");
+      if (nodes == nullptr || !nodes->is_number()) {
+        errors.push_back(std::string(which) + ": series \"" + name->str +
+                         "\": point without \"nodes\"");
+        continue;
+      }
+      out[name->str][nodes->num] = &p;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void gate_metric(const std::string& where, const std::string& metric,
+                 double base, double cur, double pct, DiffResult& out) {
+  const bool regressed =
+      base == 0 ? cur > 0 : cur > base * (1.0 + pct / 100.0);
+  const double change = base > 0 ? (cur - base) / base * 100.0 : 0.0;
+  std::ostringstream os;
+  os << where << " " << metric << ": base=" << fmt(base)
+     << " cur=" << fmt(cur);
+  if (base > 0) {
+    char chg[32];
+    std::snprintf(chg, sizeof chg, "%+.2f%%", change);
+    os << " (" << chg << ", limit +" << fmt(pct) << "%)";
+  }
+  if (regressed) {
+    out.regressions.push_back("REGRESSION: " + os.str());
+  } else {
+    out.lines.push_back("ok: " + os.str());
+  }
+}
+
+void compare_point(const std::string& where, const support::JsonValue& base,
+                   const support::JsonValue& cur, const DiffOptions& options,
+                   DiffResult& out) {
+  const support::JsonValue* bm = base.get("makespan_ns");
+  const support::JsonValue* cm = cur.get("makespan_ns");
+  if (bm != nullptr && bm->is_number()) {
+    if (cm == nullptr || !cm->is_number()) {
+      out.errors.push_back(where + ": current point has no makespan_ns");
+    } else {
+      gate_metric(where, "makespan_ns", bm->num, cm->num,
+                  options.makespan_pct, out);
+    }
+  }
+  const support::JsonValue* bmet = base.get("metrics");
+  if (bmet == nullptr || !bmet->is_object()) return;
+  const support::JsonValue* cmet = cur.get("metrics");
+  for (const auto& [key, value] : bmet->obj) {
+    if (!value.is_number()) continue;
+    double pct = options.all_pct;
+    auto it = options.metric_pct.find(key);
+    if (it != options.metric_pct.end()) pct = it->second;
+    if (pct < 0) continue;  // not gated
+    const support::JsonValue* cv =
+        cmet != nullptr && cmet->is_object() ? cmet->get(key) : nullptr;
+    if (cv == nullptr || !cv->is_number()) {
+      out.errors.push_back(where + ": metric \"" + key +
+                           "\" missing from current run");
+      continue;
+    }
+    gate_metric(where, key, value.num, cv->num, pct, out);
+  }
+}
+
+}  // namespace
+
+std::string DiffResult::to_text() const {
+  std::ostringstream os;
+  for (const std::string& l : lines) os << l << "\n";
+  for (const std::string& r : regressions) os << r << "\n";
+  for (const std::string& e : errors) os << "ERROR: " << e << "\n";
+  os << (ok() ? "bench_diff: OK" : "bench_diff: FAILED") << " ("
+     << regressions.size() << " regressions, " << errors.size()
+     << " errors)\n";
+  return os.str();
+}
+
+DiffResult bench_diff(const std::string& baseline_json,
+                      const std::string& current_json,
+                      const DiffOptions& options) {
+  DiffResult out;
+  support::JsonValue base, cur;
+  std::string err;
+  if (!support::json_parse(baseline_json, base, err)) {
+    out.errors.push_back("baseline: " + err);
+    return out;
+  }
+  if (!support::json_parse(current_json, cur, err)) {
+    out.errors.push_back("current: " + err);
+    return out;
+  }
+  const PointMap bp = collect_points(base, "baseline", out.errors);
+  const PointMap cp = collect_points(cur, "current", out.errors);
+  for (const auto& [name, pts] : bp) {
+    auto cs = cp.find(name);
+    if (cs == cp.end()) {
+      out.errors.push_back("series \"" + name + "\" missing from current run");
+      continue;
+    }
+    for (const auto& [nodes, point] : pts) {
+      auto cpt = cs->second.find(nodes);
+      const std::string where =
+          "[" + name + ", " + fmt(nodes) + " nodes]";
+      if (cpt == cs->second.end()) {
+        out.errors.push_back(where + " missing from current run");
+        continue;
+      }
+      compare_point(where, *point, *cpt->second, options, out);
+    }
+  }
+  return out;
+}
+
+DiffResult bench_diff_files(const std::string& baseline_path,
+                            const std::string& current_path,
+                            const DiffOptions& options) {
+  DiffResult out;
+  std::string err;
+  const std::string base = read_file(baseline_path, &err);
+  if (!err.empty()) {
+    out.errors.push_back(err);
+    return out;
+  }
+  const std::string cur = read_file(current_path, &err);
+  if (!err.empty()) {
+    out.errors.push_back(err);
+    return out;
+  }
+  return bench_diff(base, cur, options);
+}
+
+}  // namespace cr::exec

@@ -1,0 +1,49 @@
+// Metric regression gate: compares two BENCH_metrics JSON documents
+// (written by bench --metrics, see bench/common.h) and flags any gated
+// metric that grew past its relative threshold. Every gated quantity is
+// a cost (virtual makespan, bytes moved, messages, events processed),
+// so "higher than baseline" is always the regression direction.
+//
+// The comparison is structural: series are matched by name and points by
+// node count; a series or point present in the baseline but missing from
+// the current run is an error (a silently dropped configuration must not
+// read as "no regressions").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cr::exec {
+
+struct DiffOptions {
+  // Relative threshold (percent) for the makespan_ns of every point.
+  double makespan_pct = 5.0;
+  // When >= 0, every metric in the point's snapshot is gated at this
+  // threshold; when < 0 only makespan_ns and metric_pct entries gate.
+  double all_pct = -1;
+  // Per-metric threshold overrides, by exact registry key.
+  std::map<std::string, double> metric_pct;
+};
+
+struct DiffResult {
+  std::vector<std::string> lines;        // informational comparisons
+  std::vector<std::string> regressions;  // gated metrics over threshold
+  std::vector<std::string> errors;       // parse / structure problems
+  bool ok() const { return regressions.empty() && errors.empty(); }
+  // Full human-readable report (lines, then regressions and errors).
+  std::string to_text() const;
+};
+
+// Compare two documents given as JSON text.
+DiffResult bench_diff(const std::string& baseline_json,
+                      const std::string& current_json,
+                      const DiffOptions& options);
+
+// Convenience: read both files, then compare. Unreadable files become
+// errors in the result.
+DiffResult bench_diff_files(const std::string& baseline_path,
+                            const std::string& current_path,
+                            const DiffOptions& options);
+
+}  // namespace cr::exec

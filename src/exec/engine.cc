@@ -7,6 +7,7 @@
 #include "passes/shard_creation.h"
 #include "rt/intersect.h"
 #include "support/check.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 
 namespace cr::exec {
@@ -28,7 +29,10 @@ struct Engine::Impl {
         cost_(config.cost),
         mode_(config.mode),
         check_(config.check),
-        mutant_(config.check_mutate) {}
+        mutant_(config.check_mutate),
+        m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
+        m_barrier_arrivals_(rt.metrics().counter("rt.barrier.arrivals")),
+        m_collective_rounds_(rt.metrics().counter("rt.collective.rounds")) {}
 
   ~Impl() {
     // If enable_trace() attached our own tracer to the simulator, detach
@@ -45,6 +49,15 @@ struct Engine::Impl {
   rt::RegionForest& forest() { return rt_.forest(); }
   sim::Simulator& sim() { return rt_.sim(); }
   support::Tracer* tracer() { return rt_.sim().tracer(); }
+
+  // Attribute the span producing `e` to the statement's provenance root
+  // (copy/sync rollup by user source statement). Purely observational;
+  // no-op without a tracer or when the statement carries no provenance.
+  void attribute(const sim::Event& e, const ir::Stmt& s) {
+    support::Tracer* t = tracer();
+    if (t == nullptr || !s.prov.valid()) return;
+    t->attribute(e.uid(), s.prov.source, s.prov.label);
+  }
 
   static sim::Time ns(double v) {
     return v <= 0 ? 0 : static_cast<sim::Time>(v);
@@ -193,7 +206,11 @@ struct Engine::Impl {
   // (the point-to-point synchronization of paper §3.4).
   sim::Event edge_event(const SyncEdge& e, uint32_t node) {
     if (mode_ == ExecMode::kSpmd && e.node != node) {
-      return rt_.network().send(e.node, node, 0, e.event);
+      sim::Event sent = rt_.network().send(e.node, node, 0, e.event);
+      // Notification raised on behalf of a provenance-carrying consumer
+      // (a compiler-inserted copy): its NIC time belongs to that source.
+      if (attr_stmt_ != nullptr) attribute(sent, *attr_stmt_);
+      return sent;
     }
     return e.event;
   }
@@ -317,6 +334,47 @@ struct Engine::Impl {
     t->set_process_name(support::kRuntimePid, "runtime");
     t->declare_track(support::kRuntimePid, 0, "barriers", false);
     t->declare_track(support::kRuntimePid, 1, "collectives", false);
+  }
+
+  // --- metrics mirror (end of run) -----------------------------------------
+
+  // Mirror every component's counters into the runtime's registry once
+  // the timeline is final. Pure host-side observation: counters use
+  // set() so re-running on one Runtime stays idempotent, and the
+  // per-processor busy histogram is rebuilt from scratch each time.
+  void export_metrics(support::MetricsRegistry& m) {
+    m.counter("exec.makespan_ns").set(result_.makespan_ns);
+    m.counter("exec.point_tasks").set(result_.point_tasks);
+    m.counter("exec.copies_issued").set(result_.copies_issued);
+    m.counter("exec.copies_skipped").set(result_.copies_skipped);
+    m.counter("exec.bytes_moved").set(result_.bytes_moved);
+    m.counter("exec.messages").set(result_.messages);
+    m.counter("exec.intersection_pairs").set(result_.intersection_pairs);
+    m.counter("exec.control_busy_ns").set(result_.control_busy_ns);
+
+    m.counter("sim.events_processed").set(sim().events_processed());
+    m.gauge("sim.queue.max_depth").set(sim().max_queue_depth());
+    m.counter("sim.net.messages").set(rt_.network().messages_sent());
+    m.counter("sim.net.bytes").set(rt_.network().bytes_sent());
+    support::Histogram& busy = m.histogram("sim.proc.busy_ns");
+    busy.reset();
+    sim::Machine& mach = rt_.machine();
+    for (uint32_t n = 0; n < mach.nodes(); ++n) {
+      for (uint32_t c = 0; c < mach.cores_per_node(); ++c) {
+        busy.record(mach.proc(n, c).busy_time());
+      }
+    }
+
+    const rt::DependenceTracker& deps = rt_.deps();
+    m.counter("rt.dep.pairs_scanned").set(deps.pairs_scanned());
+    m.counter("rt.dep.pairs_tested").set(deps.pairs_tested());
+    m.counter("rt.dep.dependences").set(deps.dependences_found());
+    m.counter("rt.dep.index_queries").set(deps.index_queries());
+    m.counter("rt.dep.index_rebuilds").set(deps.index_rebuilds());
+
+    forest().export_metrics(m);
+    m.counter("rt.isect_cache.hits").set(isect_cache_.hits());
+    m.counter("rt.isect_cache.misses").set(isect_cache_.misses());
   }
 
   // --- race-checker instrumentation (ExecConfig::check) --------------------
@@ -928,7 +986,7 @@ struct Engine::Impl {
 
     if (req.points.empty()) {
       // Issue overhead is still paid — this is what §3.3 optimizes away.
-      charge(ctx, cost_.copy_issue_ns, "issue:copy");
+      attribute(charge(ctx, cost_.copy_issue_ns, "issue:copy"), s);
       ++result_.copies_skipped;
       return;
     }
@@ -937,11 +995,13 @@ struct Engine::Impl {
     InstanceSync& ssy = sync_of(*src);
     InstanceSync& dsy = sync_of(*dst);
     const bool relaxed = relaxed_copy(s, ctx);
+    attr_stmt_ = &s;  // notify sends raised below belong to this copy
     read_pre(ssy, req.src_node, ctx.shard, relaxed, pre);
     // Destination side: WAR against current readers, WAW against the
     // current write epoch. Reduction copies serialize the same way, which
     // fixes their fold order deterministically (issue order).
     write_pre(dsy, req.dst_node, ctx.shard, relaxed, pre);
+    attr_stmt_ = nullptr;
     double issue_ns = cost_.copy_issue_ns;
     if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
       // The master's dynamic analysis also covers runtime copies. The
@@ -972,9 +1032,12 @@ struct Engine::Impl {
       pre.insert(pre.end(), d2.begin(), d2.end());
       issue_ns += cost_.dep_pair_ns *
                   static_cast<double>(rt_.deps().pairs_scanned() - before);
-      pre.push_back(charge(ctx, issue_ns, "issue:copy"));
+      sim::Event issued = charge(ctx, issue_ns, "issue:copy");
+      attribute(issued, s);
+      pre.push_back(issued);
       sim::Event delivered =
           rt_.copies().issue(req, sim::Event::merge(sim(), pre));
+      attribute(delivered, s);
       delivered.subscribe(
           [completion](sim::Time) mutable { completion.trigger(); });
       note_read(ssy, delivered, req.src_node, ctx.shard, relaxed);
@@ -984,9 +1047,12 @@ struct Engine::Impl {
       return;
     }
 
-    pre.push_back(charge(ctx, issue_ns, "issue:copy"));
+    sim::Event issued = charge(ctx, issue_ns, "issue:copy");
+    attribute(issued, s);
+    pre.push_back(issued);
     sim::Event delivered =
         rt_.copies().issue(req, sim::Event::merge(sim(), pre));
+    attribute(delivered, s);
     note_read(ssy, delivered, req.src_node, ctx.shard, relaxed);
     note_write(dsy, delivered, req.dst_node, ctx.shard, relaxed);
     log_copy_access(s, pi, *src, *dst, pre, delivered, ctx);
@@ -1078,6 +1144,11 @@ struct Engine::Impl {
                                                       num_shards);
     }
     const uint64_t gen = stmt_gen_[&s]++;
+    m_barrier_gens_.add(1);
+    m_barrier_arrivals_.add(ctxs.size());
+    // The generation's release span (runtime track) is sync time induced
+    // by the statement sync_insertion anchored this barrier to.
+    attribute(it->second->wait(gen), s);
     for (Ctx& ctx : ctxs) {
       // Arrive once everything this shard issued so far has completed;
       // the control chain resumes after the barrier releases.
@@ -1185,6 +1256,8 @@ struct Engine::Impl {
     }
     rt::DynamicCollective* dc = cit->second.get();
     const uint64_t gen = stmt_gen_[&s]++;
+    m_collective_rounds_.add(1);
+    attribute(dc->result_event(gen), s);
     for (Ctx& ctx : ctxs) {
       charge(ctx, cost_.collective_issue_ns, "issue:collective");
       auto partials = pr.partials;
@@ -1242,6 +1315,14 @@ struct Engine::Impl {
   ExecMode mode_;
   const bool check_;            // record accesses + HB graph, run checker
   const ir::SyncId mutant_;     // sync op deleted by fault injection
+  // Cached registry counters bumped during unroll (avoids the by-name
+  // lookup on every barrier/collective generation).
+  support::Counter& m_barrier_gens_;
+  support::Counter& m_barrier_arrivals_;
+  support::Counter& m_collective_rounds_;
+  // Statement whose preconditions are being gathered right now; lets
+  // edge_event attribute the notify messages it raises (see above).
+  const ir::Stmt* attr_stmt_ = nullptr;
 };
 
 // ---------------------------------------------------------------------
@@ -1385,36 +1466,58 @@ ExecutionResult Engine::run() {
   impl_->result_.bytes_moved = impl_->rt_.copies().bytes_moved();
   impl_->result_.messages = impl_->rt_.network().messages_sent();
   impl_->result_.dep_pairs_tested = impl_->rt_.deps().pairs_tested();
-  {
-    AnalysisStats& a = impl_->result_.analysis;
-    const rt::DependenceTracker& deps = impl_->rt_.deps();
-    a.dep_pairs_scanned = deps.pairs_scanned();
-    a.dep_pairs_tested = deps.pairs_tested();
-    a.dep_dependences = deps.dependences_found();
-    a.dep_index_queries = deps.index_queries();
-    a.dep_index_rebuilds = deps.index_rebuilds();
-    const rt::RegionForest::AliasCounters& c =
-        impl_->forest().alias_counters();
-    a.alias_queries = c.alias_queries;
-    a.alias_fast = c.alias_fast;
-    a.alias_cache_hits = c.alias_hits;
-    a.overlap_queries = c.overlap_queries;
-    a.overlap_static = c.overlap_static;
-    a.overlap_cache_hits = c.overlap_hits;
-    a.overlap_exact = c.overlap_exact;
-    a.isect_cache_hits = impl_->isect_cache_.hits();
-    a.isect_cache_misses = impl_->isect_cache_.misses();
-  }
   impl_->result_.control_busy_ns =
       impl_->rt_.machine()
           .proc(impl_->rt_.mapper().control_proc(0))
           .busy_time();
+  // Single source of truth for dynamic-analysis counters: mirror every
+  // component into the registry, then read AnalysisStats back out of the
+  // snapshot (the registry is what bench --metrics serializes).
+  support::MetricsRegistry& m = impl_->rt_.metrics();
+  impl_->export_metrics(m);
   if (impl_->check_) {
     impl_->sim().set_event_graph(nullptr);
     impl_->result_.check = std::make_shared<check::CheckResult>(
         check::check(impl_->log_, impl_->graph_, impl_->p_));
+    const check::CheckStats& cs = impl_->result_.check->stats;
+    m.counter("check.accesses").set(cs.accesses);
+    m.counter("check.hb_nodes").set(cs.hb_nodes);
+    m.counter("check.hb_edges").set(cs.hb_edges);
+    m.counter("check.pairs_checked").set(cs.pairs_checked);
+    m.counter("check.races").set(cs.races);
+  }
+  impl_->result_.metrics = m.snapshot();
+  {
+    const std::map<std::string, double>& snap = impl_->result_.metrics;
+    auto get = [&snap](const char* key) -> uint64_t {
+      auto it = snap.find(key);
+      return it == snap.end() ? 0 : static_cast<uint64_t>(it->second);
+    };
+    AnalysisStats& a = impl_->result_.analysis;
+    a.dep_pairs_scanned = get("rt.dep.pairs_scanned");
+    a.dep_pairs_tested = get("rt.dep.pairs_tested");
+    a.dep_dependences = get("rt.dep.dependences");
+    a.dep_index_queries = get("rt.dep.index_queries");
+    a.dep_index_rebuilds = get("rt.dep.index_rebuilds");
+    a.alias_queries = get("rt.alias.queries");
+    a.alias_fast = get("rt.alias.fast");
+    a.alias_cache_hits = get("rt.alias.cache_hits");
+    a.overlap_queries = get("rt.overlap.queries");
+    a.overlap_static = get("rt.overlap.static");
+    a.overlap_cache_hits = get("rt.overlap.cache_hits");
+    a.overlap_exact = get("rt.overlap.exact");
+    a.isect_cache_hits = get("rt.isect_cache.hits");
+    a.isect_cache_misses = get("rt.isect_cache.misses");
   }
   return impl_->result_;
+}
+
+AttributionReport Engine::attribution_report() const {
+  AttributionReport out;
+  if (const support::Tracer* t = impl_->tracer()) {
+    out.rows = t->attribution();
+  }
+  return out;
 }
 
 void Engine::enable_trace() {

@@ -51,6 +51,11 @@ struct ExecutionResult {
   AnalysisStats analysis;
   // Race-checker verdict; set only when ExecConfig::check was enabled.
   std::shared_ptr<check::CheckResult> check;
+  // Flattened snapshot of the runtime's MetricsRegistry at end of run:
+  // every "sim." / "rt." / "passes." / "exec." / "check." counter, taken
+  // after all of the above are mirrored in. Virtual-time and count
+  // quantities only (safe to diff across hosts).
+  std::map<std::string, double> metrics;
 };
 
 class Engine {
@@ -80,6 +85,9 @@ class Engine {
   // Category breakdown + critical path of the traced run; call after
   // run() with tracing enabled.
   support::TraceSummary trace_summary() const;
+  // Per-source-statement copy/sync rollup of the traced run (empty when
+  // tracing was disabled); call after run().
+  AttributionReport attribution_report() const;
 
   // Post-run access to results (real-data mode).
   double read_root_f64(rt::RegionId root, rt::FieldId f, uint64_t pt) const;

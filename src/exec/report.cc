@@ -16,6 +16,24 @@ double rate(uint64_t part, uint64_t whole) {
 
 }  // namespace
 
+std::string AttributionReport::to_text(size_t top_k) const {
+  std::ostringstream os;
+  os << "copy/sync attribution (by source statement)\n";
+  if (rows.empty()) {
+    os << "  (nothing attributed; run with tracing enabled)\n";
+    return os.str();
+  }
+  size_t shown = 0;
+  for (const support::TraceAttributionRow& r : rows) {
+    if (top_k != 0 && shown++ >= top_k) break;
+    os << "  #" << r.source << " " << std::left << std::setw(16) << r.label
+       << std::right << std::fixed << std::setprecision(3) << "  copy "
+       << std::setw(10) << r.copy_ns * 1e-6 << " ms  sync " << std::setw(10)
+       << r.sync_ns * 1e-6 << " ms  (" << r.spans << " spans)\n";
+  }
+  return os.str();
+}
+
 std::string AnalysisStats::to_text() const {
   std::ostringstream os;
   os << std::fixed;

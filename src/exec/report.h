@@ -9,8 +9,20 @@
 #include <vector>
 
 #include "sim/event.h"
+#include "support/trace.h"
 
 namespace cr::exec {
+
+// Per-source-statement copy/sync rollup of a traced run: which user
+// statements induced the data movement and synchronization the pipeline
+// inserted (see ir::Provenance). Rows come pre-sorted by total virtual
+// time descending.
+struct AttributionReport {
+  std::vector<support::TraceAttributionRow> rows;
+  bool empty() const { return rows.empty(); }
+  // Aligned text table of the top-k rows (all rows when top_k == 0).
+  std::string to_text(size_t top_k = 10) const;
+};
 
 // Host-side dynamic-analysis work of one execution: how much dependence
 // analysis, region aliasing, and intersection work the runtime actually
@@ -74,6 +86,16 @@ struct ScalingPoint {
   // bench recorded them); rendered as an appendix table by to_table().
   bool has_analysis = false;
   AnalysisStats analysis;
+
+  // Full metrics snapshot of the run (bench --metrics): the flattened
+  // registry of ExecutionResult::metrics, plus the raw makespan so
+  // bench_diff can gate on it directly. Virtual-time quantities only —
+  // never host wall-clock.
+  bool has_metrics = false;
+  double makespan_ns = 0;
+  std::map<std::string, double> metrics;
+  // Copy/sync provenance attribution of the traced run, if any.
+  std::vector<support::TraceAttributionRow> attribution;
 
   // elements processed per second per node
   double throughput_per_node() const {

@@ -38,11 +38,17 @@ std::vector<Stmt>& ProgramBuilder::current() {
   return open_.empty() ? program_.body : open_.back()->body;
 }
 
+void ProgramBuilder::root_provenance(Stmt& s) {
+  s.prov.source = program_.num_source_stmts++;
+  s.prov.label = s.label;
+}
+
 void ProgramBuilder::begin_for_time(uint64_t trip_count, std::string label) {
   Stmt s;
   s.kind = StmtKind::kForTime;
   s.trip_count = trip_count;
   s.label = std::move(label);
+  root_provenance(s);
   current().push_back(std::move(s));
   open_.push_back(&current().back());
 }
@@ -74,6 +80,7 @@ void ProgramBuilder::index_launch(TaskId task, uint64_t colors,
   s.args = std::move(args);
   s.scalar_args = std::move(scalar_args);
   s.label = program_.tasks[task].name;
+  root_provenance(s);
   current().push_back(std::move(s));
 }
 
@@ -96,6 +103,7 @@ void ProgramBuilder::single_task(TaskId task,
   s.regions = std::move(regions);
   s.scalar_args = std::move(scalar_args);
   s.label = program_.tasks[task].name;
+  root_provenance(s);
   current().push_back(std::move(s));
 }
 
@@ -109,6 +117,7 @@ void ProgramBuilder::scalar_op(
   s.scalar_writes = std::move(writes);
   s.scalar_fn = std::move(fn);
   s.label = std::move(label);
+  root_provenance(s);
   current().push_back(std::move(s));
 }
 

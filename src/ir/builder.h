@@ -62,6 +62,8 @@ class ProgramBuilder {
 
  private:
   std::vector<Stmt>& current();
+  // Stamp a fresh source-statement id on a to-be-appended statement.
+  void root_provenance(Stmt& s);
   Program program_;
   // Stack of open ForTime bodies, as indices into the enclosing body.
   std::vector<Stmt*> open_;

@@ -39,10 +39,22 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
                 int indent, const PrintOptions& opt) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
   // Sync-id annotation, appended right before the statement's newline.
-  const std::string sync =
+  std::string sync =
       opt.show_sync_ids && s.sync_id != kNoSyncId
           ? " sync#" + std::to_string(s.sync_id)
           : "";
+  // Provenance annotation rides on the same suffix slot; only compiler-
+  // introduced kinds carry one (source statements' provenance is just
+  // their own position).
+  if (opt.show_provenance && s.prov.valid() && !s.prov.passes.empty()) {
+    std::string chain;
+    for (const std::string& pass : s.prov.passes) {
+      if (!chain.empty()) chain += ">";
+      chain += pass;
+    }
+    sync += " from#" + std::to_string(s.prov.source) + ":" + s.prov.label +
+            "[" + chain + "]";
+  }
   os << pad;
   switch (s.kind) {
     case StmtKind::kForTime:
@@ -108,14 +120,15 @@ void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
     }
     case StmtKind::kFill:
       os << "fill " << part_name(p, s.fill_dst) << " "
-         << fields_str(s.fill_fields) << " = " << s.fill_value << "\n";
+         << fields_str(s.fill_fields) << " = " << s.fill_value << sync
+         << "\n";
       return;
     case StmtKind::kBarrier:
       os << "barrier" << sync << "\n";
       return;
     case StmtKind::kIntersect:
       os << "intersect#" << s.isect_id << " = " << part_name(p, s.isect_src)
-         << " x " << part_name(p, s.isect_dst) << "\n";
+         << " x " << part_name(p, s.isect_dst) << sync << "\n";
       return;
     case StmtKind::kCollective:
       os << "collective " << p.scalar(s.coll_scalar).name << " "

@@ -15,6 +15,9 @@ struct PrintOptions {
   // stable SyncId — used by the per-pass golden snapshots and the race
   // checker's mutation sweep, off by default to keep legacy goldens.
   bool show_sync_ids = false;
+  // Annotate compiler-introduced statements with their provenance chain
+  // (" from#<source>:<label>[pass1>pass2]"); off by default likewise.
+  bool show_provenance = false;
 };
 
 // Print the statement body (declarations omitted unless `with_decls`).

@@ -34,6 +34,28 @@ inline constexpr uint32_t kNoIntersect = UINT32_MAX;
 using SyncId = uint32_t;
 inline constexpr SyncId kNoSyncId = UINT32_MAX;
 
+// Provenance of a statement: which user-written source statement it
+// descends from and which passes created or rewrote it along the way.
+// The builder roots every source statement (source = its position in
+// program order, label = loop var / task name); each pass that emits a
+// copy or sync op derives its provenance from the statement that caused
+// the emission. The executors forward provenance into trace spans so
+// runtime copy/sync time can be attributed back to user code.
+inline constexpr uint32_t kNoSourceStmt = UINT32_MAX;
+struct Provenance {
+  uint32_t source = kNoSourceStmt;  // Program::num_source_stmts id
+  std::string label;                // the source statement's label
+  std::vector<std::string> passes;  // emitting pass, then rewriters
+
+  bool valid() const { return source != kNoSourceStmt; }
+  // This chain extended by `pass` (for an op the pass newly emits).
+  Provenance derived(const std::string& pass) const {
+    Provenance p = *this;
+    p.passes.push_back(pass);
+    return p;
+  }
+};
+
 // ---------------------------------------------------------------------
 // Kernel interface
 // ---------------------------------------------------------------------
@@ -193,6 +215,9 @@ struct Stmt {
 
   // Sync-op identity for kBarrier / kCollective / p2p-marked kCopy.
   SyncId sync_id = kNoSyncId;
+
+  // Source-statement ancestry (see Provenance above).
+  Provenance prov;
 };
 
 // ---------------------------------------------------------------------
@@ -209,6 +234,8 @@ struct Program {
   uint32_t num_intersects = 0;
   // Number of sync-op ids allocated by passes (see SyncId).
   uint32_t num_sync_ops = 0;
+  // Number of user-written source statements (see Provenance).
+  uint32_t num_source_stmts = 0;
 
   const TaskDecl& task(TaskId id) const;
   const ScalarDecl& scalar(ScalarId id) const;

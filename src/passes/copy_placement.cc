@@ -58,6 +58,7 @@ class Placement {
       }
       ir::Stmt copy = std::move(loop.body[c]);
       loop.body.erase(loop.body.begin() + static_cast<long>(c));
+      if (copy.prov.valid()) copy.prov.passes.push_back("copy-placement");
       parent.insert(parent.begin() + static_cast<long>(loop_idx),
                     std::move(copy));
       ++loop_idx;  // the loop moved one slot right

@@ -9,12 +9,13 @@ namespace cr::passes {
 namespace {
 
 ir::Stmt make_copy(rt::PartitionId src, rt::PartitionId dst,
-                   const FieldSet& fields) {
+                   const FieldSet& fields, ir::Provenance prov) {
   ir::Stmt s;
   s.kind = ir::StmtKind::kCopy;
   s.copy_src = src;
   s.copy_dst = dst;
   s.copy_fields.assign(fields.begin(), fields.end());
+  s.prov = std::move(prov);
   return s;
 }
 
@@ -34,6 +35,7 @@ class DataReplicator {
       merge_into(all_.reads, sum.reads);
       merge_into(all_.writes, sum.writes);
       merge_into(all_.reduces, sum.reduces);
+      note_provenance(program_.body[i]);
     }
 
     DataReplicationResult result;
@@ -81,7 +83,8 @@ class DataReplicator {
     std::vector<ir::Stmt> copies;
     for (const auto& [p, fields] : sum.writes) {
       for (auto& [q, shared] : aliased_readers(p, fields)) {
-        copies.push_back(make_copy(p, q, shared));
+        copies.push_back(
+            make_copy(p, q, shared, s.prov.derived("data-replication")));
       }
     }
     return copies;
@@ -104,6 +107,29 @@ class DataReplicator {
     return inserted;
   }
 
+  // Record, per accessed partition, the first accessing and the last
+  // writing source statement: the init copy loading a partition exists
+  // because of its first access, the finalize copy draining it because
+  // of its last write.
+  void note_provenance(const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kIndexLaunch) {
+      for (const ir::RegionArg& a : s.args) {
+        first_access_.try_emplace(a.partition,
+                                  s.prov.derived("data-replication"));
+        if (a.privilege != rt::Privilege::kReadOnly) {
+          last_write_[a.partition] = s.prov.derived("data-replication");
+        }
+      }
+    }
+    for (const ir::Stmt& c : s.body) note_provenance(c);
+  }
+
+  ir::Provenance prov_of(const std::map<rt::PartitionId, ir::Provenance>& m,
+                         rt::PartitionId p) const {
+    const auto it = m.find(p);
+    return it != m.end() ? it->second : ir::Provenance{};
+  }
+
   void emit_init(DataReplicationResult& result) {
     // Figure 4a lines 2-4: load every accessed partition from its parent
     // region (reduce-only partitions excluded — they never read and the
@@ -116,6 +142,7 @@ class DataReplicator {
       s.src_root = root_of(forest_, p);
       s.copy_dst = p;
       s.copy_fields.assign(fields.begin(), fields.end());
+      s.prov = prov_of(first_access_, p);
       result.init.push_back(std::move(s));
     }
   }
@@ -131,6 +158,7 @@ class DataReplicator {
       s.copy_src = p;
       s.dst_root = root_of(forest_, p);
       s.copy_fields.assign(fields.begin(), fields.end());
+      s.prov = prov_of(last_write_, p);
       result.finalize.push_back(std::move(s));
     }
   }
@@ -139,6 +167,7 @@ class DataReplicator {
   const rt::RegionForest& forest_;
   const ir::StaticRegionTree& tree_;
   AccessSummary all_;
+  std::map<rt::PartitionId, ir::Provenance> first_access_, last_write_;
 };
 
 }  // namespace

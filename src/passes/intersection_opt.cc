@@ -34,9 +34,12 @@ class IntersectionTagger {
       t.isect_id = it->second;
       t.isect_src = s.copy_src;
       t.isect_dst = s.copy_dst;
+      // The table exists because of the first copy needing it.
+      t.prov = s.prov.derived("intersection-opt");
       result_.tables.push_back(std::move(t));
     }
     s.isect = it->second;
+    if (s.prov.valid()) s.prov.passes.push_back("intersection-opt");
     ++result_.copies_tagged;
   }
 

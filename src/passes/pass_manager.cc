@@ -10,8 +10,24 @@
 #include "passes/shard_creation.h"
 #include "passes/sync_insertion.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace cr::passes {
+
+namespace {
+
+// Recursive statement count of a body range (each statement counts 1
+// plus its nested body), for the per-pass IR size deltas.
+size_t count_stmts(const std::vector<ir::Stmt>& body, size_t begin,
+                   size_t end) {
+  size_t n = 0;
+  for (size_t i = begin; i < end && i < body.size(); ++i) {
+    n += 1 + count_stmts(body[i].body, 0, body[i].body.size());
+  }
+  return n;
+}
+
+}  // namespace
 
 const ir::StaticRegionTree& PassContext::oracle() {
   if (!oracle_) {
@@ -54,9 +70,25 @@ void PassManager::run_fragment(ir::Program& program, Fragment fragment,
   ctx.begin_fragment(fragment);
   ctx.add_stat("fragment.statements", fragment.end - fragment.begin);
 
+  support::MetricsRegistry* metrics = ctx.options().metrics;
   for (Entry& e : entries_) {
     if (!e.enabled) continue;
+    // IR size delta per pass (recursive statement count over the
+    // fragment), recorded only when a registry is attached: the count
+    // walk is pure observation but not free.
+    if (metrics != nullptr) {
+      const Fragment& f = ctx.fragment();
+      metrics
+          ->counter(std::string("passes.") + e.pass->name() + ".stmts_in")
+          .add(count_stmts(program.body, f.begin, f.end));
+    }
     e.pass->run(program, ctx);
+    if (metrics != nullptr) {
+      const Fragment& f = ctx.fragment();
+      metrics
+          ->counter(std::string("passes.") + e.pass->name() + ".stmts_out")
+          .add(count_stmts(program.body, f.begin, f.end));
+    }
     if (observer_) observer_(*e.pass, program, ctx);
   }
 

@@ -3,6 +3,7 @@
 #include "ir/verify.h"
 #include "passes/applicability.h"
 #include "passes/pass_manager.h"
+#include "support/metrics.h"
 
 namespace cr::passes {
 
@@ -31,6 +32,13 @@ PipelineReport run_pipeline(ir::Program& program,
   if (to_spmd) ir::verify_or_die(program);
   PipelineReport report = report_from_stats(ctx);
   report.applied = true;
+  // Mirror the uniform per-pass counters into the attached registry
+  // (idempotent per pipeline run; keys are stable "<pass>.<counter>").
+  if (options.metrics != nullptr) {
+    for (const auto& [key, value] : report.stats) {
+      options.metrics->counter("passes." + key).add(value);
+    }
+  }
   return report;
 }
 

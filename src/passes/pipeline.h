@@ -18,6 +18,10 @@
 
 #include "ir/program.h"
 
+namespace cr::support {
+class MetricsRegistry;
+}  // namespace cr::support
+
 namespace cr::passes {
 
 struct PipelineOptions {
@@ -27,6 +31,10 @@ struct PipelineOptions {
   bool intersection_opt = true;  // §3.3 (ablation A1)
   bool p2p_sync = true;          // §3.4 (ablation A2; false = barriers)
   bool hierarchical = true;      // §4.5 (ablation A3; false = flat aliasing)
+  // When set, per-pass counters and IR size deltas are mirrored into
+  // this registry under "passes.*" (observability only; never read by
+  // the passes).
+  support::MetricsRegistry* metrics = nullptr;
 };
 
 struct PipelineReport {

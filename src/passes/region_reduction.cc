@@ -79,6 +79,7 @@ class ReductionRewriter {
       fill.fill_dst = tmp;
       fill.fill_fields = a.fields;
       fill.fill_value = rt::reduce_identity(a.redop);
+      fill.prov = launch.prov.derived("region-reduction");
       pre.push_back(std::move(fill));
 
       // Apply the partial results to every partition reading the fields.
@@ -97,6 +98,7 @@ class ReductionRewriter {
         copy.copy_fields.assign(shared.begin(), shared.end());
         copy.copy_reduction = true;
         copy.copy_redop = a.redop;
+        copy.prov = launch.prov.derived("region-reduction");
         post.push_back(std::move(copy));
         applied = true;
       }
@@ -110,6 +112,7 @@ class ReductionRewriter {
         copy.copy_fields = a.fields;
         copy.copy_reduction = true;
         copy.copy_redop = a.redop;
+        copy.prov = launch.prov.derived("region-reduction");
         post.push_back(std::move(copy));
       }
 

@@ -22,6 +22,7 @@ class ScalarLowering {
       coll.coll_scalar = s.scalar_red->target;
       coll.coll_op = s.scalar_red->op;
       coll.sync_id = program_.num_sync_ops++;
+      coll.prov = s.prov.derived("scalar-reduction");
       body.insert(body.begin() + static_cast<long>(i) + 1, std::move(coll));
       ++i;
       ++result.collectives;

@@ -66,6 +66,7 @@ class SyncInserter {
         if (is_inter_shard_copy(s)) {
           s.sync = ir::SyncMode::kP2P;
           s.sync_id = program_.num_sync_ops++;
+          if (s.prov.valid()) s.prov.passes.push_back("sync-insertion");
           ++result.p2p_copies;
         }
       }
@@ -126,6 +127,12 @@ class SyncInserter {
         ir::Stmt barrier;
         barrier.kind = ir::StmtKind::kBarrier;
         barrier.sync_id = program_.num_sync_ops++;
+        // Anchor the barrier's provenance on the copy it guards: the one
+        // right before a trailing/group-closing barrier, the one right
+        // after a leading barrier. Descending insertion order keeps the
+        // indices < at[b] valid while we insert.
+        const size_t anchor = at[b] == j ? j - 1 : at[b];
+        barrier.prov = body[anchor].prov.derived("sync-insertion");
         body.insert(body.begin() + static_cast<long>(at[b]),
                     std::move(barrier));
         ++result.barriers;

@@ -5,8 +5,19 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace cr::rt {
+
+void RegionForest::export_metrics(support::MetricsRegistry& m) const {
+  m.counter("rt.alias.queries").set(counters_.alias_queries);
+  m.counter("rt.alias.fast").set(counters_.alias_fast);
+  m.counter("rt.alias.cache_hits").set(counters_.alias_hits);
+  m.counter("rt.overlap.queries").set(counters_.overlap_queries);
+  m.counter("rt.overlap.static").set(counters_.overlap_static);
+  m.counter("rt.overlap.cache_hits").set(counters_.overlap_hits);
+  m.counter("rt.overlap.exact").set(counters_.overlap_exact);
+}
 
 RegionId RegionForest::create_region(IndexSpace ispace,
                                      std::shared_ptr<FieldSpace> fs,

@@ -30,6 +30,10 @@
 #include "rt/index_space.h"
 #include "support/hash.h"
 
+namespace cr::support {
+class MetricsRegistry;
+}  // namespace cr::support
+
 namespace cr::rt {
 
 using RegionId = uint32_t;
@@ -92,20 +96,12 @@ class RegionForest {
   bool may_alias_uncached(RegionId a, RegionId b) const;
   bool overlaps_exact_uncached(RegionId a, RegionId b) const;
 
-  // Query/hit counters for the memoized tests, reported by the engine's
-  // analysis-stats block. `fast`/`static` count pairs resolved by an
-  // O(1) structural rule, `hits` count cache hits, `exact` counts
-  // interval merges actually performed.
-  struct AliasCounters {
-    uint64_t alias_queries = 0;
-    uint64_t alias_fast = 0;
-    uint64_t alias_hits = 0;
-    uint64_t overlap_queries = 0;
-    uint64_t overlap_static = 0;
-    uint64_t overlap_hits = 0;
-    uint64_t overlap_exact = 0;
-  };
-  const AliasCounters& alias_counters() const { return counters_; }
+  // Export the memoization query/hit tallies into a metrics registry
+  // under rt.alias.* / rt.overlap.* (idempotent set, not add — the
+  // forest keeps the authoritative cumulative values). `fast`/`static`
+  // count pairs resolved by an O(1) structural rule, `cache_hits` count
+  // memo hits, `exact` counts interval merges actually performed.
+  void export_metrics(support::MetricsRegistry& m) const;
 
   // Partition-level may-alias: could any subregion of p overlap any
   // subregion of q? Used by the data replication pass. For p == q this
@@ -135,6 +131,18 @@ class RegionForest {
   };
   Relation relation(RegionId a, RegionId b, uint64_t& cache_hits) const;
   Relation relation_walk(RegionId a, RegionId b) const;
+
+  // Query/hit tallies for the memoized tests (cheap host-side bumps on
+  // the hot path; exported on demand via export_metrics).
+  struct AliasCounters {
+    uint64_t alias_queries = 0;
+    uint64_t alias_fast = 0;
+    uint64_t alias_hits = 0;
+    uint64_t overlap_queries = 0;
+    uint64_t overlap_static = 0;
+    uint64_t overlap_hits = 0;
+    uint64_t overlap_exact = 0;
+  };
 
   // Memo for (min, max) region pairs. Low 2 bits: Relation (0 = not yet
   // computed). Bit 2: exact overlap known. Bit 3: exact overlap value.

@@ -15,7 +15,7 @@
 #include "sim/machine.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
-#include "support/stats.h"
+#include "support/metrics.h"
 
 namespace cr::rt {
 
@@ -41,7 +41,7 @@ class Runtime {
   DependenceTracker& deps() { return deps_; }
   CopyEngine& copies() { return copies_; }
   Mapper& mapper() { return *mapper_; }
-  support::Stats& stats() { return stats_; }
+  support::MetricsRegistry& metrics() { return metrics_; }
 
   bool real_data() const { return config_.real_data; }
   const RuntimeConfig& config() const { return config_; }
@@ -61,7 +61,7 @@ class Runtime {
   DependenceTracker deps_;
   CopyEngine copies_;
   std::unique_ptr<Mapper> mapper_;
-  support::Stats stats_;
+  support::MetricsRegistry metrics_;
 };
 
 }  // namespace cr::rt

@@ -9,6 +9,7 @@ namespace cr::sim {
 void Simulator::schedule_at(Time t, std::function<void()> fn) {
   CR_CHECK_MSG(t >= now_, "cannot schedule into the past");
   queue_.push(Entry{t, next_seq_++, current_cause_, std::move(fn)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
 void Simulator::schedule_after(Time dt, std::function<void()> fn) {

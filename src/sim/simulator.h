@@ -58,6 +58,9 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
 
+  // High-water mark of the pending-event queue (scheduler occupancy).
+  uint64_t max_queue_depth() const { return max_queue_depth_; }
+
  private:
   struct Entry {
     Time time;
@@ -78,6 +81,7 @@ class Simulator {
   support::Tracer* tracer_ = nullptr;
   EventGraph* graph_ = nullptr;
   uint64_t events_processed_ = 0;
+  uint64_t max_queue_depth_ = 0;
   bool running_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };

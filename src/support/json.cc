@@ -1,0 +1,209 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cr::support {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.str);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.b = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.b = false;
+        return literal("false", 5);
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null", 4);
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.obj.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.arr.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Our writers never emit \u escapes; decode the BMP code point
+          // as a raw byte when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long cp = std::strtol(hex.c_str(), nullptr, 16);
+          out.push_back(cp > 0 && cp < 128 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out.kind = JsonValue::Kind::kNumber;
+    out.num = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    return true;
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue& out, std::string& error) {
+  Parser p(text, error);
+  return p.parse(out);
+}
+
+}  // namespace cr::support

@@ -1,0 +1,37 @@
+#pragma once
+
+// Minimal recursive-descent JSON reader for the bench_diff comparator
+// and tests. Handles the subset our own writers emit (objects, arrays,
+// strings with backslash escapes, numbers, booleans, null); numbers all
+// parse as double, matching the MetricsRegistry snapshot domain.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cr::support {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  // Insertion-ordered so diffs report keys in file order.
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+};
+
+// Parse `text` into `out`. On failure returns false and describes the
+// problem (with byte offset) in `error`.
+bool json_parse(const std::string& text, JsonValue& out, std::string& error);
+
+}  // namespace cr::support

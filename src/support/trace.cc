@@ -64,6 +64,13 @@ void Tracer::edge(uint64_t uid, SpanId to) {
   edges_.emplace_back(uid, to);
 }
 
+void Tracer::attribute(uint64_t uid, uint32_t source,
+                       const std::string& label) {
+  if (uid == 0) return;
+  attr_uids_.emplace(uid, source);
+  attr_labels_.emplace(source, label);
+}
+
 uint64_t Tracer::resolve_alias(uint64_t uid) const {
   // Follow the alias chain until a bound producer or a fixed point; the
   // hop bound guards against accidental cycles.
@@ -79,6 +86,49 @@ uint64_t Tracer::resolve_alias(uint64_t uid) const {
 SpanId Tracer::producer_of(uint64_t uid) const {
   auto it = producer_.find(resolve_alias(uid));
   return it == producer_.end() ? kNoSpan : it->second;
+}
+
+std::unordered_map<SpanId, uint32_t> Tracer::span_sources() const {
+  // Visit attributed uids in sorted order so the first-wins claim of a
+  // span (several uids can resolve to one span through alias chains) is
+  // deterministic across identical runs.
+  std::vector<std::pair<uint64_t, uint32_t>> pairs(attr_uids_.begin(),
+                                                   attr_uids_.end());
+  std::sort(pairs.begin(), pairs.end());
+  std::unordered_map<SpanId, uint32_t> out;
+  for (const auto& [uid, source] : pairs) {
+    const SpanId span = producer_of(uid);
+    if (span != kNoSpan) out.emplace(span, source);
+  }
+  return out;
+}
+
+std::vector<TraceAttributionRow> Tracer::attribution() const {
+  std::map<uint32_t, TraceAttributionRow> by_source;
+  for (const auto& [span, source] : span_sources()) {
+    const TraceSpan& s = spans_[span];
+    TraceAttributionRow& row = by_source[source];
+    row.source = source;
+    const auto label = attr_labels_.find(source);
+    if (label != attr_labels_.end()) row.label = label->second;
+    const double dur = static_cast<double>(s.duration());
+    if (s.category == TraceCategory::kSync) {
+      row.sync_ns += dur;
+    } else {
+      row.copy_ns += dur;  // copy (and any compute issued on its behalf)
+    }
+    ++row.spans;
+  }
+  std::vector<TraceAttributionRow> rows;
+  rows.reserve(by_source.size());
+  for (auto& [source, row] : by_source) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const TraceAttributionRow& a, const TraceAttributionRow& b) {
+              return a.total_ns() != b.total_ns()
+                         ? a.total_ns() > b.total_ns()
+                         : a.source < b.source;
+            });
+  return rows;
 }
 
 // ---------------------------------------------------------------------
@@ -142,14 +192,21 @@ void Tracer::write_chrome_json(const std::string& path) const {
                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
                  key.pid, key.tid, json_escape(info.name).c_str());
   }
-  for (const TraceSpan& s : spans_) {
+  const std::unordered_map<SpanId, uint32_t> sources = span_sources();
+  for (SpanId i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
     sep();
     std::fprintf(f,
                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u}",
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u",
                  json_escape(s.name).c_str(),
                  trace_category_name(s.category), to_us(s.start),
                  to_us(s.duration()), s.pid, s.tid);
+    const auto src = sources.find(i);
+    if (src != sources.end()) {
+      std::fprintf(f, ",\"args\":{\"src\":%u}", src->second);
+    }
+    std::fprintf(f, "}");
   }
   for (const TraceInstant& i : instants_) {
     sep();
@@ -169,6 +226,7 @@ void Tracer::write_chrome_json(const std::string& path) const {
 TraceSummary Tracer::summarize(TraceTime makespan) const {
   TraceSummary out;
   out.breakdown.makespan = makespan;
+  out.attribution = attribution();
 
   // --- per-track category coverage (priority compute > copy > sync) ---
   struct Cover {
@@ -326,6 +384,19 @@ std::string TraceSummary::to_text() const {
       os << "    " << std::left << std::setw(24)
          << (name.empty() ? "(unnamed)" : name) << std::right
          << std::setw(12) << std::setprecision(3) << ms(ns) << " ms\n";
+    }
+  }
+  if (!attribution.empty()) {
+    os << "copy/sync attribution (by source statement):\n";
+    size_t shown = 0;
+    for (const TraceAttributionRow& r : attribution) {
+      if (++shown > 10) break;
+      std::ostringstream who;
+      who << "#" << r.source << " " << (r.label.empty() ? "?" : r.label);
+      os << "  " << std::left << std::setw(24) << who.str() << std::right
+         << "  copy " << std::setw(10) << std::setprecision(3)
+         << ms(r.copy_ns) << " ms  sync " << std::setw(10) << ms(r.sync_ns)
+         << " ms  (" << r.spans << " spans)\n";
     }
   }
   return os.str();

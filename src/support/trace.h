@@ -93,6 +93,18 @@ struct TraceBreakdown {
   double frac(double v) const { return total_ns > 0 ? v / total_ns : 0; }
 };
 
+// Copy/sync virtual time attributed to one user source statement (see
+// ir::Provenance; the executors attribute runtime spans through the
+// event uids of the operations they issue).
+struct TraceAttributionRow {
+  uint32_t source = 0;  // source statement id
+  std::string label;    // its label (loop var / task name)
+  double copy_ns = 0;   // attributed copy span time
+  double sync_ns = 0;   // attributed sync span time
+  uint64_t spans = 0;   // attributed span count
+  double total_ns() const { return copy_ns + sync_ns; }
+};
+
 struct TraceSummary {
   TraceBreakdown breakdown;
 
@@ -107,6 +119,10 @@ struct TraceSummary {
   // Top contributors on the path, aggregated by name stem (the part
   // before any "[color]" suffix), sorted by time descending.
   std::vector<std::pair<std::string, double>> cp_top;
+
+  // Copy/sync time per attributed source statement, sorted by total
+  // time descending (empty when nothing was attributed).
+  std::vector<TraceAttributionRow> attribution;
 
   std::string to_text() const;
 };
@@ -140,6 +156,11 @@ class Tracer {
   // time) gated the start of `to`.
   void edge(uint64_t uid, SpanId to);
 
+  // Attribute the span producing (or aliased to) event `uid` to user
+  // source statement `source` (labelled `label`). Resolution to spans
+  // happens at summary time; first attribution of a uid wins.
+  void attribute(uint64_t uid, uint32_t source, const std::string& label);
+
   // --- inspection / artifacts ------------------------------------------
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
@@ -152,6 +173,9 @@ class Tracer {
   // Aggregate breakdown + critical path for a run that ended at
   // `makespan` virtual ns.
   TraceSummary summarize(TraceTime makespan) const;
+
+  // Just the per-source copy/sync rollup (also included in summarize()).
+  std::vector<TraceAttributionRow> attribution() const;
 
  private:
   struct TrackKey {
@@ -171,6 +195,9 @@ class Tracer {
 
   uint64_t resolve_alias(uint64_t uid) const;
   SpanId producer_of(uint64_t uid) const;
+  // Deterministic span -> source-statement resolution of attr_uids_
+  // (uids visited in sorted order, first claim of a span wins).
+  std::unordered_map<SpanId, uint32_t> span_sources() const;
 
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
@@ -179,6 +206,8 @@ class Tracer {
   std::unordered_map<uint64_t, SpanId> producer_;   // event uid -> span
   std::unordered_map<uint64_t, uint64_t> aliases_;  // derived -> original
   std::vector<std::pair<uint64_t, SpanId>> edges_;  // pre uid -> consumer
+  std::unordered_map<uint64_t, uint32_t> attr_uids_;  // event uid -> source
+  std::unordered_map<uint32_t, std::string> attr_labels_;  // source -> label
 };
 
 }  // namespace cr::support

@@ -1,0 +1,141 @@
+// The perf regression gate: bench_diff must pass a self-diff exactly,
+// flag a synthetic 10% makespan regression at the default 5% threshold,
+// and refuse to pass when a configuration silently disappears.
+#include "exec/bench_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace cr::exec {
+namespace {
+
+const char* kBaseline = R"({
+  "app": "stencil",
+  "series": [
+    {"name": "spmd", "points": [
+      {"nodes": 1, "virtual_seconds": 0.001, "makespan_ns": 1000000,
+       "metrics": {"exec.bytes_moved": 4096, "exec.messages": 100,
+                   "sim.events_processed": 5000},
+       "attribution": []},
+      {"nodes": 2, "virtual_seconds": 0.001, "makespan_ns": 1100000,
+       "metrics": {"exec.bytes_moved": 8192, "exec.messages": 260,
+                   "sim.events_processed": 9000},
+       "attribution": []}
+    ]},
+    {"name": "implicit", "points": [
+      {"nodes": 1, "virtual_seconds": 0.002, "makespan_ns": 2000000,
+       "metrics": {"exec.bytes_moved": 4096}, "attribution": []}
+    ]}
+  ]
+})";
+
+TEST(BenchDiff, SelfDiffPasses) {
+  const DiffResult r = bench_diff(kBaseline, kBaseline, DiffOptions{});
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_FALSE(r.lines.empty());  // makespans were actually compared
+}
+
+TEST(BenchDiff, TenPercentMakespanRegressionFails) {
+  std::string current = kBaseline;
+  // Bump the 2-node spmd makespan by 10%: 1100000 -> 1210000.
+  const std::string old_val = "\"makespan_ns\": 1100000";
+  const size_t pos = current.find(old_val);
+  ASSERT_NE(pos, std::string::npos);
+  current.replace(pos, old_val.size(), "\"makespan_ns\": 1210000");
+
+  const DiffResult r = bench_diff(kBaseline, current, DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u) << r.to_text();
+  EXPECT_NE(r.regressions[0].find("makespan_ns"), std::string::npos);
+  EXPECT_NE(r.regressions[0].find("spmd"), std::string::npos);
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(BenchDiff, WithinThresholdPasses) {
+  std::string current = kBaseline;
+  // +4% stays under the default 5% gate.
+  const std::string old_val = "\"makespan_ns\": 1000000";
+  const size_t pos = current.find(old_val);
+  ASSERT_NE(pos, std::string::npos);
+  current.replace(pos, old_val.size(), "\"makespan_ns\": 1040000");
+  const DiffResult r = bench_diff(kBaseline, current, DiffOptions{});
+  EXPECT_TRUE(r.ok()) << r.to_text();
+}
+
+TEST(BenchDiff, AllMetricsGate) {
+  std::string current = kBaseline;
+  const std::string old_val = "\"exec.messages\": 100";
+  const size_t pos = current.find(old_val);
+  ASSERT_NE(pos, std::string::npos);
+  current.replace(pos, old_val.size(), "\"exec.messages\": 150");
+  // Ungated by default...
+  EXPECT_TRUE(bench_diff(kBaseline, current, DiffOptions{}).ok());
+  // ...flagged when every metric is gated.
+  DiffOptions all;
+  all.all_pct = 5.0;
+  const DiffResult r = bench_diff(kBaseline, current, all);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.regressions.empty());
+  EXPECT_NE(r.regressions[0].find("exec.messages"), std::string::npos);
+}
+
+TEST(BenchDiff, PerMetricThresholdOverride) {
+  std::string current = kBaseline;
+  const std::string old_val = "\"exec.bytes_moved\": 4096, \"exec.messages\"";
+  const size_t pos = current.find(old_val);
+  ASSERT_NE(pos, std::string::npos);
+  current.replace(pos, old_val.size(),
+                  "\"exec.bytes_moved\": 4300, \"exec.messages\"");
+  DiffOptions opt;
+  opt.metric_pct["exec.bytes_moved"] = 1.0;  // ~+5% > 1% gate
+  const DiffResult r = bench_diff(kBaseline, current, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.regressions.empty());
+  EXPECT_NE(r.regressions[0].find("exec.bytes_moved"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingPointIsAnError) {
+  std::string current = kBaseline;
+  // Drop the whole implicit series from the current run.
+  const size_t pos = current.find(",\n    {\"name\": \"implicit\"");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t end = current.rfind("]}");  // last point list close
+  ASSERT_NE(end, std::string::npos);
+  current = current.substr(0, pos) + "\n  ]\n}";
+  const DiffResult r = bench_diff(kBaseline, current, DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("implicit"), std::string::npos);
+}
+
+TEST(BenchDiff, ZeroBaselineRegressesOnAnyGrowth) {
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"check.races":0}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"check.races":2}}]}]})";
+  DiffOptions opt;
+  opt.all_pct = 100.0;  // even a huge relative gate can't excuse 0 -> 2
+  const DiffResult r = bench_diff(base, cur, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.regressions.empty());
+  EXPECT_NE(r.regressions[0].find("check.races"), std::string::npos);
+}
+
+TEST(BenchDiff, MalformedJsonIsAnError) {
+  const DiffResult r = bench_diff("{not json", kBaseline, DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("baseline"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingFileIsAnError) {
+  const DiffResult r = bench_diff_files("/nonexistent/base.json",
+                                        "/nonexistent/cur.json",
+                                        DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.errors.empty());
+}
+
+}  // namespace
+}  // namespace cr::exec

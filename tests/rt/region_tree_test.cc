@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "rt/partition.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 
 namespace cr::rt {
@@ -204,13 +205,17 @@ TEST_P(RegionTreeMemoization, CachedAgreesWithUncachedOnRandomTrees) {
       }
     }
   }
-  const RegionForest::AliasCounters& c = forest.alias_counters();
-  const uint64_t n2 = 2 * regions.size() * regions.size();
-  EXPECT_EQ(c.alias_queries, n2);
-  EXPECT_EQ(c.overlap_queries, n2);
+  support::MetricsRegistry m;
+  forest.export_metrics(m);
+  const auto snap = m.snapshot();
+  const double n2 = static_cast<double>(2 * regions.size() * regions.size());
+  EXPECT_EQ(snap.at("rt.alias.queries"), n2);
+  EXPECT_EQ(snap.at("rt.overlap.queries"), n2);
   // Every query is resolved by a fast path, the cache, or exact work.
-  EXPECT_GE(c.alias_fast + c.alias_hits, n2 / 2);  // pass 2 never walks
-  EXPECT_GE(c.overlap_static + c.overlap_hits, n2 / 2);
+  EXPECT_GE(snap.at("rt.alias.fast") + snap.at("rt.alias.cache_hits"),
+            n2 / 2);  // pass 2 never walks
+  EXPECT_GE(snap.at("rt.overlap.static") + snap.at("rt.overlap.cache_hits"),
+            n2 / 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionTreeMemoization,

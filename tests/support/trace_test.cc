@@ -144,6 +144,65 @@ TEST(Tracer, EmptyTracerWritesValidEmptyArray) {
   std::remove(path.c_str());
 }
 
+TEST(Tracer, AttributionRollsUpCopyAndSyncBySource) {
+  Tracer t;
+  // Source 7 "incr": one copy span (uid 1) and one sync span (uid 2).
+  const SpanId cp = t.add_span(0, 0, TraceCategory::kCopy, "ghost", 0, 100);
+  t.bind(1, cp);
+  t.attribute(1, 7, "incr");
+  const SpanId sy = t.add_span(kRuntimePid, 0, TraceCategory::kSync,
+                               "barrier", 100, 130);
+  t.bind(2, sy);
+  t.attribute(2, 7, "incr");
+  // Source 3 "init": a compute span is not copy/sync time, so it yields
+  // a row only through its counted span.
+  const SpanId w = t.add_span(0, 1, TraceCategory::kCopy, "fill", 0, 40);
+  t.bind(3, w);
+  t.attribute(3, 3, "init");
+
+  const std::vector<TraceAttributionRow> rows = t.attribution();
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by total time descending: source 7 (130ns) before 3 (40ns).
+  EXPECT_EQ(rows[0].source, 7u);
+  EXPECT_EQ(rows[0].label, "incr");
+  EXPECT_DOUBLE_EQ(rows[0].copy_ns, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].sync_ns, 30.0);
+  EXPECT_EQ(rows[0].spans, 2u);
+  EXPECT_EQ(rows[1].source, 3u);
+  EXPECT_DOUBLE_EQ(rows[1].copy_ns, 40.0);
+
+  // summarize() carries the same rollup.
+  const TraceSummary s = t.summarize(130);
+  ASSERT_EQ(s.attribution.size(), 2u);
+  EXPECT_EQ(s.attribution[0].source, 7u);
+  EXPECT_NE(s.to_text().find("incr"), std::string::npos);
+}
+
+TEST(Tracer, AttributionFirstClaimWinsAndResolvesAliases) {
+  Tracer t;
+  const SpanId a = t.add_span(0, 0, TraceCategory::kCopy, "c", 0, 50);
+  t.bind(1, a);
+  t.alias(2, 1);
+  // Attributing the same uid twice: the first claim wins.
+  t.attribute(1, 4, "first");
+  t.attribute(1, 9, "second");
+  // Attributing through the alias resolves to the same span, which was
+  // already claimed — it must not be double-counted or reassigned.
+  t.attribute(2, 9, "second");
+  const std::vector<TraceAttributionRow> rows = t.attribution();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].source, 4u);
+  EXPECT_EQ(rows[0].label, "first");
+  EXPECT_DOUBLE_EQ(rows[0].copy_ns, 50.0);
+  EXPECT_EQ(rows[0].spans, 1u);
+}
+
+TEST(Tracer, AttributionOfUnboundUidIsDropped) {
+  Tracer t;
+  t.attribute(99, 1, "nothing");  // uid never bound to a span
+  EXPECT_TRUE(t.attribution().empty());
+}
+
 TEST(Tracer, SummaryTextReportsCategoriesAndCriticalPath) {
   Tracer t;
   t.declare_track(0, 0, "core 0");

@@ -1,0 +1,59 @@
+// CLI wrapper around exec::bench_diff: compare a current bench --metrics
+// JSON against a committed baseline and exit nonzero on any regression
+// or structural mismatch. Used by CI as the perf regression gate.
+//
+//   bench_diff <baseline.json> <current.json>
+//       [--makespan=<pct>]         threshold for makespan_ns (default 5)
+//       [--all=<pct>]              gate every metric at this threshold
+//       [--metric=<name>:<pct>]    per-metric threshold (repeatable)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exec/bench_diff.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--makespan=<pct>] "
+               "[--all=<pct>] [--metric=<name>:<pct>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cr::exec::DiffOptions options;
+  std::string baseline, current;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--makespan=", 0) == 0) {
+      options.makespan_pct = std::atof(arg.c_str() + std::strlen("--makespan="));
+    } else if (arg.rfind("--all=", 0) == 0) {
+      options.all_pct = std::atof(arg.c_str() + std::strlen("--all="));
+    } else if (arg.rfind("--metric=", 0) == 0) {
+      const std::string spec = arg.substr(std::strlen("--metric="));
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) return usage(argv[0]);
+      options.metric_pct[spec.substr(0, colon)] =
+          std::atof(spec.c_str() + colon + 1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (baseline.empty()) {
+      baseline = arg;
+    } else if (current.empty()) {
+      current = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline.empty() || current.empty()) return usage(argv[0]);
+
+  const cr::exec::DiffResult result =
+      cr::exec::bench_diff_files(baseline, current, options);
+  std::fputs(result.to_text().c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}
