@@ -160,6 +160,10 @@ struct BenchOptions {
   // (ExecutionResult::metrics) plus makespan and attribution as one
   // BENCH_metrics JSON document — the bench_diff input. Empty = off.
   std::string metrics_path;
+  // --workers=<n>: run SPMD executions on the windowed multi-worker
+  // simulation backend with <n> host threads. 0 (default) keeps the
+  // sequential reference loop. Any n produces bit-identical results.
+  int64_t workers = 0;
 
   // Default artifact names carry the app name so several benches run
   // from one directory (CI) never clobber each other's output.
@@ -180,6 +184,9 @@ struct BenchOptions {
               });
     flags.add_flag("check", "run the happens-before race checker",
                    &check);
+    flags.add_int("workers", "<n>",
+                  "simulation worker threads for SPMD runs (0 = sequential)",
+                  &workers);
     flags.add("check-mutate", "=<sync-id>",
               "delete sync op <sync-id>; expect the checker to race",
               [this](const std::string& value, bool has_value) {
@@ -243,6 +250,9 @@ class Bench {
     cfg.check = options_.check;
     if (mode == exec::ExecMode::kSpmd && options_.check_mutate >= 0) {
       cfg.check_mutate = static_cast<ir::SyncId>(options_.check_mutate);
+    }
+    if (mode == exec::ExecMode::kSpmd && options_.workers > 0) {
+      cfg.workers = static_cast<uint32_t>(options_.workers);
     }
     return cfg;
   }

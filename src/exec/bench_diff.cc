@@ -63,9 +63,13 @@ std::string fmt(double v) {
 }
 
 void gate_metric(const std::string& where, const std::string& metric,
-                 double base, double cur, double pct, DiffResult& out) {
+                 double base, double cur, double pct, double zero_abs_eps,
+                 DiffResult& out) {
+  // base == 0 makes a relative threshold degenerate (0 * (1 + pct/100)
+  // is still 0): fall back to an absolute epsilon so a metric that was
+  // and stays (near-)zero passes, while any real growth still flags.
   const bool regressed =
-      base == 0 ? cur > 0 : cur > base * (1.0 + pct / 100.0);
+      base == 0 ? cur > zero_abs_eps : cur > base * (1.0 + pct / 100.0);
   const double change = base > 0 ? (cur - base) / base * 100.0 : 0.0;
   std::ostringstream os;
   os << where << " " << metric << ": base=" << fmt(base)
@@ -74,6 +78,8 @@ void gate_metric(const std::string& where, const std::string& metric,
     char chg[32];
     std::snprintf(chg, sizeof chg, "%+.2f%%", change);
     os << " (" << chg << ", limit +" << fmt(pct) << "%)";
+  } else {
+    os << " (zero baseline, limit abs " << fmt(zero_abs_eps) << ")";
   }
   if (regressed) {
     out.regressions.push_back("REGRESSION: " + os.str());
@@ -92,7 +98,7 @@ void compare_point(const std::string& where, const support::JsonValue& base,
       out.errors.push_back(where + ": current point has no makespan_ns");
     } else {
       gate_metric(where, "makespan_ns", bm->num, cm->num,
-                  options.makespan_pct, out);
+                  options.makespan_pct, options.zero_abs_eps, out);
     }
   }
   const support::JsonValue* bmet = base.get("metrics");
@@ -111,7 +117,8 @@ void compare_point(const std::string& where, const support::JsonValue& base,
                            "\" missing from current run");
       continue;
     }
-    gate_metric(where, key, value.num, cv->num, pct, out);
+    gate_metric(where, key, value.num, cv->num, pct, options.zero_abs_eps,
+                out);
   }
 }
 

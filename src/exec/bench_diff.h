@@ -24,6 +24,11 @@ struct DiffOptions {
   double all_pct = -1;
   // Per-metric threshold overrides, by exact registry key.
   std::map<std::string, double> metric_pct;
+  // Absolute fallback for zero baselines. A relative threshold is
+  // meaningless when base == 0 (base * (1 + pct/100) stays 0, so any
+  // positive current value — however tiny — would flag). Instead a
+  // zero-baseline metric regresses only when cur > zero_abs_eps.
+  double zero_abs_eps = 1e-9;
 };
 
 struct DiffResult {

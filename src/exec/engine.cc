@@ -1,8 +1,10 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <deque>
+#include <mutex>
 
 #include "passes/shard_creation.h"
 #include "rt/intersect.h"
@@ -28,6 +30,7 @@ struct Engine::Impl {
         p_(program),
         cost_(config.cost),
         mode_(config.mode),
+        workers_(config.workers),
         check_(config.check),
         mutant_(config.check_mutate),
         m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
@@ -226,6 +229,37 @@ struct Engine::Impl {
     if (shard == kMainEnv || e.shard == kMainEnv) return false;
     return e.shard != shard;
   }
+  // --- node-affinity routing (multi-worker backend, SPMD mode) ---------
+  // Under the windowed backend an inline Event::merge must complete on
+  // one node's worker, and an operation's side effects must run on the
+  // node that owns the touched state. Two helpers keep every operation's
+  // wiring single-node; both are identity in implicit mode and for
+  // same-node issues, so the sequential wiring (and its timeline) is
+  // unchanged wherever it was already local.
+
+  // Merge the issuing control thread's preconditions (control chain,
+  // captured scalar readys) into the executing node's precondition set.
+  // A cross-node dispatch becomes a zero-byte notify: the executing
+  // node learns of the issue one network delay later.
+  void route_ctx_pre(Ctx& ctx, uint32_t exec_node,
+                     const std::vector<sim::Event>& ctx_pre,
+                     std::vector<sim::Event>& pre) {
+    if (mode_ == ExecMode::kSpmd && exec_node != ctx.node) {
+      pre.push_back(rt_.network().send(ctx.node, exec_node, 0,
+                                       sim::Event::merge(sim(), ctx_pre)));
+      return;
+    }
+    pre.insert(pre.end(), ctx_pre.begin(), ctx_pre.end());
+  }
+
+  // Make a completion triggering on `from` observable on `to`: a
+  // cross-node completion returns as a zero-byte notify (the control
+  // thread hears about remotely-executed work over the wire).
+  sim::Event localize(sim::Event done, uint32_t from, uint32_t to) {
+    if (mode_ != ExecMode::kSpmd || from == to) return done;
+    return rt_.network().send(from, to, 0, done);
+  }
+
   void read_pre(InstanceSync& s, uint32_t node, uint32_t shard, bool relaxed,
                 std::vector<sim::Event>& pre) {
     for (const SyncEdge& w : s.writers) {
@@ -452,9 +486,13 @@ struct Engine::Impl {
 
   // Quiescence tracking: every issued operation must complete by the end
   // of the run; a nonzero count at drain means an event cycle (a
-  // transformation or executor bug), which must fail loudly.
+  // transformation or executor bug), which must fail loudly. The
+  // completion subscriptions fire on whichever simulator worker runs the
+  // final cascade, so the bookkeeping is thread-safe (registration is
+  // unroll-time single-threaded; only the erase path is concurrent).
   struct LiveOps {
-    uint64_t count = 0;
+    std::atomic<uint64_t> count{0};
+    std::mutex mu;
     std::map<uint64_t, std::string> stuck;  // id -> label
     uint64_t next = 0;
   };
@@ -462,10 +500,11 @@ struct Engine::Impl {
   void track(sim::Event completion, std::string label = {}) {
     auto live = live_ops_;
     const uint64_t id = live->next++;
-    ++live->count;
+    live->count.fetch_add(1, std::memory_order_relaxed);
     live->stuck.emplace(id, std::move(label));
     completion.subscribe([live, id](sim::Time) {
-      --live->count;
+      live->count.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(live->mu);
       live->stuck.erase(id);
     });
   }
@@ -555,8 +594,10 @@ struct Engine::Impl {
         t->declare_track(ctl.node, ctl.core,
                          "shard " + std::to_string(x) + " (control)");
       }
-      shards[x].last = main[0].last;  // shards start once the main task
-                                      // has issued them
+      // Shards start once the main task has issued them. The launch of a
+      // remote shard is a real network dispatch: localize the handoff so
+      // the shard's control chain starts on its own node (and worker).
+      shards[x].last = localize(main[0].last, main[0].node, shards[x].node);
       // Per-shard cost of the complete intersections for owned pairs
       // (paper §3.3: computed inside the individual shards).
       double complete_ns = 0;
@@ -675,14 +716,18 @@ struct Engine::Impl {
     }
 
     // Scalar argument capture: bind the scalar versions current at issue.
+    // The readys and the issue charge trigger on the issuing control
+    // thread's node; route them to the executing node as one dispatch.
+    std::vector<sim::Event> ctx_pre;
     auto captures = std::make_shared<Captures>();
     for (ir::ScalarId a : s.scalar_args) {
       ScalarVersion& v = latest(ctx.shard, a);
-      pre.push_back(v.ready);
+      ctx_pre.push_back(v.ready);
       captures->push_back({a, v.value});
     }
 
-    pre.push_back(charge(ctx, issue_ns, "issue:task"));
+    ctx_pre.push_back(charge(ctx, issue_ns, "issue:task"));
+    route_ctx_pre(ctx, exec_node, ctx_pre, pre);
 
     if (check_) {
       const std::vector<uint64_t> starts = uids_of(pre);
@@ -752,12 +797,15 @@ struct Engine::Impl {
       t->alias(done.event().uid(), task_done.uid());
     }
 
-    ctx.outstanding.push_back(done.event());
+    // The control thread observes the completion on its own node; the
+    // localized event is what later same-context merges (barrier
+    // arrivals, run-ahead gating, reduction folds) consume.
+    sim::Event home = localize(done.event(), exec_node, ctx.node);
+    ctx.outstanding.push_back(home);
     track(done.event(), "task " + decl.name + "[" + std::to_string(color) + "]");
-    gate_window(ctx, done.event());
+    gate_window(ctx, home);
     if (red != nullptr) {
-      red->events[ctx.shard == kMainEnv ? 0 : ctx.shard].push_back(
-          done.event());
+      red->events[ctx.shard == kMainEnv ? 0 : ctx.shard].push_back(home);
     }
   }
 
@@ -999,8 +1047,11 @@ struct Engine::Impl {
     read_pre(ssy, req.src_node, ctx.shard, relaxed, pre);
     // Destination side: WAR against current readers, WAW against the
     // current write epoch. Reduction copies serialize the same way, which
-    // fixes their fold order deterministically (issue order).
-    write_pre(dsy, req.dst_node, ctx.shard, relaxed, pre);
+    // fixes their fold order deterministically (issue order). The edges
+    // are routed to the *source* node: the transfer is initiated there
+    // (the source gathers and injects the payload), so in SPMD mode the
+    // destination's readiness travels to the source as a notify first.
+    write_pre(dsy, req.src_node, ctx.shard, relaxed, pre);
     attr_stmt_ = nullptr;
     double issue_ns = cost_.copy_issue_ns;
     if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
@@ -1049,14 +1100,17 @@ struct Engine::Impl {
 
     sim::Event issued = charge(ctx, issue_ns, "issue:copy");
     attribute(issued, s);
-    pre.push_back(issued);
+    route_ctx_pre(ctx, req.src_node, {issued}, pre);
     sim::Event delivered =
         rt_.copies().issue(req, sim::Event::merge(sim(), pre));
     attribute(delivered, s);
-    note_read(ssy, delivered, req.src_node, ctx.shard, relaxed);
+    // Delivery triggers on the destination; the source's WAR edge (a
+    // later writer of the source instance) observes it via a notify.
+    note_read(ssy, localize(delivered, req.dst_node, req.src_node),
+              req.src_node, ctx.shard, relaxed);
     note_write(dsy, delivered, req.dst_node, ctx.shard, relaxed);
     log_copy_access(s, pi, *src, *dst, pre, delivered, ctx);
-    ctx.outstanding.push_back(delivered);
+    ctx.outstanding.push_back(localize(delivered, req.dst_node, ctx.node));
   }
 
   void log_copy_access(const ir::Stmt& s, const PairInfo& pi,
@@ -1094,7 +1148,8 @@ struct Engine::Impl {
         InstanceSync& sy = sync_of(ref);
         std::vector<sim::Event> pre;
         write_pre(sy, ref.node, ctx.shard, false, pre);
-        pre.push_back(charge(ctx, cost_.fill_issue_ns, "issue:fill"));
+        route_ctx_pre(ctx, ref.node,
+                      {charge(ctx, cost_.fill_issue_ns, "issue:fill")}, pre);
         std::function<void()> work;
         if (rt_.instances() != nullptr) {
           auto* mgr = rt_.instances();
@@ -1121,7 +1176,7 @@ struct Engine::Impl {
                      forest().region(ref.region).ispace.points(),
                      uids_of(pre), done.uid(), c, ctx.shard, "fill");
         }
-        ctx.outstanding.push_back(done);
+        ctx.outstanding.push_back(localize(done, ref.node, ctx.node));
         track(done, "fill " + std::to_string(s.fill_dst) + "[" +
                         std::to_string(c) + "]");
       }
@@ -1313,6 +1368,7 @@ struct Engine::Impl {
   const ir::Program& p_;
   CostModel cost_;
   ExecMode mode_;
+  const uint32_t workers_;      // 0 = sequential loop, N = windowed backend
   const bool check_;            // record accesses + HB graph, run checker
   const ir::SyncId mutant_;     // sync op deleted by fault injection
   // Cached registry counters bumped during unroll (avoids the by-name
@@ -1449,8 +1505,22 @@ ExecutionResult Engine::run() {
     impl_->graph_.clear();
     impl_->sim().set_event_graph(&impl_->graph_);
   }
+  const uint32_t workers = impl_->workers_;
+  if (workers > 0) {
+    CR_CHECK_MSG(impl_->mode_ == ExecMode::kSpmd,
+                 "the multi-worker backend requires SPMD mode");
+    sim::Simulator& s = impl_->sim();
+    // The partitioned queues must exist before the unroll schedules
+    // anything; the lookahead is the network's minimum cross-node
+    // influence delay (wire latency + handler cost).
+    if (!s.windowed()) {
+      s.begin_windowed(impl_->rt_.machine().nodes(),
+                       impl_->rt_.network().min_cross_node_delay());
+    }
+  }
   impl_->unroll();
-  impl_->result_.makespan_ns = impl_->sim().run();
+  impl_->result_.makespan_ns =
+      workers > 0 ? impl_->sim().run_windowed(workers) : impl_->sim().run();
   if (impl_->live_ops_->count != 0) {
     std::string msg = "execution did not quiesce; stuck ops:";
     int shown = 0;

@@ -23,6 +23,13 @@ struct ExecConfig {
   CostModel cost;
   ExecMode mode = ExecMode::kSpmd;
 
+  // Simulation backend: 0 = the sequential reference event loop; N >= 1
+  // = the windowed multi-worker backend with N host threads (SPMD mode
+  // only). Any N — including 1 — produces bit-identical virtual-time
+  // results, metrics and traces; see DESIGN.md "Deterministic
+  // multi-worker backend".
+  uint32_t workers = 0;
+
   // Instrumentation sinks. All host-side: enabling any of them leaves
   // the virtual timeline bit-identical (asserted by the
   // analysis-neutrality tests).

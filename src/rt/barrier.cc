@@ -25,7 +25,9 @@ void PhaseBarrier::maybe_wire(Generation& g) {
   CR_CHECK_MSG(g.arrivals.size() == participants_,
                "barrier generation over-subscribed");
   g.wired = true;
-  sim::Event all = sim::Event::merge(*sim_, g.arrivals);
+  // Arrivals trigger on different nodes' workers: use the remote merge,
+  // which defers completion to a serial phase.
+  sim::Event all = sim::Event::merge_remote(*sim_, g.arrivals);
   // Fan-in + fan-out over a binary tree of participants.
   const sim::Time latency = 2 * net_->tree_latency(participants_);
   sim::UserEvent* done = g.done.get();

@@ -35,7 +35,8 @@ void DynamicCollective::contribute(uint64_t generation, uint32_t rank,
 void DynamicCollective::maybe_wire(Generation& g) {
   if (g.wired || g.arrivals.size() < participants_) return;
   g.wired = true;
-  sim::Event all = sim::Event::merge(*sim_, g.arrivals);
+  // Contributions trigger on different nodes' workers: remote merge.
+  sim::Event all = sim::Event::merge_remote(*sim_, g.arrivals);
   g.gather_uid = all.uid();
   const sim::Time latency = 2 * net_->tree_latency(participants_);
   Generation* gp = &g;

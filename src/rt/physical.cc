@@ -138,6 +138,58 @@ void PhysicalInstance::fold_from(const PhysicalInstance& src,
   }
 }
 
+PhysicalInstance::StagedPayload PhysicalInstance::gather(
+    const support::IntervalSet& points,
+    const std::vector<FieldId>& fields) const {
+  StagedPayload staged;
+  staged.cols.reserve(fields.size());
+  for (FieldId f : fields) {
+    if (fields_->field(f).type == FieldType::kF64) {
+      std::vector<double> col;
+      points.for_each_point([&](uint64_t p) { col.push_back(read_f64(f, p)); });
+      staged.cols.emplace_back(std::move(col));
+    } else {
+      std::vector<int64_t> col;
+      points.for_each_point([&](uint64_t p) { col.push_back(read_i64(f, p)); });
+      staged.cols.emplace_back(std::move(col));
+    }
+  }
+  return staged;
+}
+
+void PhysicalInstance::scatter(const StagedPayload& staged,
+                               const support::IntervalSet& points,
+                               const std::vector<FieldId>& fields) {
+  CR_CHECK(staged.cols.size() == fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldId f = fields[i];
+    size_t k = 0;
+    if (fields_->field(f).type == FieldType::kF64) {
+      const auto& col = std::get<std::vector<double>>(staged.cols[i]);
+      points.for_each_point([&](uint64_t p) { write_f64(f, p, col[k++]); });
+    } else {
+      const auto& col = std::get<std::vector<int64_t>>(staged.cols[i]);
+      points.for_each_point([&](uint64_t p) { write_i64(f, p, col[k++]); });
+    }
+  }
+}
+
+void PhysicalInstance::scatter_fold(const StagedPayload& staged,
+                                    const support::IntervalSet& points,
+                                    const std::vector<FieldId>& fields,
+                                    ReduceOp op) {
+  CR_CHECK(staged.cols.size() == fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldId f = fields[i];
+    CR_CHECK_MSG(fields_->field(f).type == FieldType::kF64,
+                 "reduction copies support f64 fields only");
+    const auto& col = std::get<std::vector<double>>(staged.cols[i]);
+    size_t k = 0;
+    points.for_each_point(
+        [&](uint64_t p) { reduce_f64(f, p, op, col[k++]); });
+  }
+}
+
 InstanceId InstanceManager::create(RegionId region, uint32_t node) {
   const InstanceId id = static_cast<InstanceId>(instances_.size());
   instances_.push_back(

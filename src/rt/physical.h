@@ -60,6 +60,26 @@ class PhysicalInstance {
                  const support::IntervalSet& points,
                  const std::vector<FieldId>& fields, ReduceOp op);
 
+  // A gathered payload: one column per requested field, values in
+  // point-iteration order. Copies gather on the source side at network
+  // injection and scatter on the destination side at delivery — under
+  // the multi-worker backend the two ends run on different host
+  // threads, so the delivery must not touch the source instance.
+  // (Equivalent to reading at delivery time: anti-dependences order any
+  // writer of the source after the copy completes.)
+  struct StagedPayload {
+    std::vector<std::variant<std::vector<double>, std::vector<int64_t>>>
+        cols;
+  };
+  StagedPayload gather(const support::IntervalSet& points,
+                       const std::vector<FieldId>& fields) const;
+  void scatter(const StagedPayload& staged,
+               const support::IntervalSet& points,
+               const std::vector<FieldId>& fields);
+  void scatter_fold(const StagedPayload& staged,
+                    const support::IntervalSet& points,
+                    const std::vector<FieldId>& fields, ReduceOp op);
+
  private:
   using Column = std::variant<std::vector<double>, std::vector<int64_t>>;
   Column& column(FieldId f);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -23,19 +24,29 @@ namespace cr::sim {
 class EventGraph {
  public:
   // Record "from happens-before to". Edges touching the no-event
-  // (uid 0) carry no information and are dropped.
+  // (uid 0) carry no information and are dropped. Thread-safe: under
+  // the multi-worker backend several workers record edges at once. The
+  // edge *list order* depends on the interleaving, but consumers (the
+  // race checker, critical-path analysis) only use the edge *set* —
+  // reachability is order-insensitive.
   void edge(uint64_t from, uint64_t to) {
     if (from == 0 || to == 0 || from == to) return;
+    std::lock_guard<std::mutex> lock(mu_);
     edges_.push_back({from, to});
   }
 
+  // Only valid once recording has quiesced (after the run completes).
   const std::vector<std::pair<uint64_t, uint64_t>>& edges() const {
     return edges_;
   }
 
-  void clear() { edges_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    edges_.clear();
+  }
 
  private:
+  std::mutex mu_;
   std::vector<std::pair<uint64_t, uint64_t>> edges_;
 };
 

@@ -32,19 +32,25 @@ Network::Network(Simulator& sim, uint32_t nodes, NetworkConfig config)
 }
 
 Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
-                    Event precondition, std::function<void()> on_delivery) {
+                    Event precondition, std::function<void()> on_delivery,
+                    std::function<void()> on_inject) {
   CR_CHECK(src < nic_free_.size() && dst < nic_free_.size());
   UserEvent delivered(*sim_);
   auto work = on_delivery
                   ? std::make_shared<std::function<void()>>(
                         std::move(on_delivery))
                   : nullptr;
+  auto stage = on_inject
+                   ? std::make_shared<std::function<void()>>(
+                         std::move(on_inject))
+                   : nullptr;
   const uint64_t pre_uid = precondition.uid();
   const uint64_t delivered_uid = delivered.event().uid();
-  precondition.subscribe([this, src, dst, bytes, work, delivered, pre_uid,
-                          delivered_uid](Time ready) mutable {
-    ++messages_;
-    bytes_ += bytes;
+  precondition.subscribe([this, src, dst, bytes, work, stage, delivered,
+                          pre_uid, delivered_uid](Time ready) mutable {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (stage) (*stage)();
     Time arrive;
     support::Tracer* t = sim_->tracer();
     if (src == dst) {
@@ -66,18 +72,25 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
         // and handler time show up as a gap before the consumer starts.
         // Zero-byte sends are synchronization notifications.
         const bool is_sync = bytes == 0;
+        std::string label = is_sync ? "notify >" : "xfer >";
+        label += std::to_string(dst);
+        if (!is_sync) {
+          label += ' ';
+          label += std::to_string(bytes);
+          label += 'B';
+        }
         const support::SpanId span = t->add_span(
             src, support::kNicTid,
             is_sync ? support::TraceCategory::kSync
                     : support::TraceCategory::kCopy,
-            (is_sync ? "notify >" : "xfer >") + std::to_string(dst) +
-                (is_sync ? "" : " " + std::to_string(bytes) + "B"),
-            inject, inject + serial);
+            label, inject, inject + serial);
         t->edge(pre_uid, span);
         t->bind(delivered_uid, span);
       }
     }
-    sim_->schedule_at(arrive, [work, delivered]() mutable {
+    // The delivery runs on the destination node: its side effects (the
+    // payload landing, the consumer cascade) belong to dst's partition.
+    sim_->schedule_at_affine(arrive, dst, [work, delivered]() mutable {
       if (work) (*work)();
       delivered.trigger();
     });

@@ -12,6 +12,7 @@
 // the literature (LogP-style).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -36,8 +37,13 @@ class Network {
   // Transfer `bytes` from src to dst after `precondition`; the returned
   // event triggers on delivery. `on_delivery` (optional) runs at delivery
   // time (real side effect, e.g. the actual memcpy of region data).
+  // `on_inject` (optional) runs on the source side when the message is
+  // injected: under the windowed backend the delivery callback executes
+  // on the *destination* node's worker, so any read of source-side state
+  // (RDMA gathering the payload) must happen here instead.
   Event send(uint32_t src, uint32_t dst, uint64_t bytes, Event precondition,
-             std::function<void()> on_delivery = nullptr);
+             std::function<void()> on_delivery = nullptr,
+             std::function<void()> on_inject = nullptr);
 
   // Virtual duration of moving `bytes` across the wire (latency + serial).
   Time transfer_time(uint64_t bytes) const;
@@ -47,17 +53,30 @@ class Network {
   // `participants` nodes (used by barriers and dynamic collectives).
   Time tree_latency(uint32_t participants, uint32_t fanin = 2) const;
 
-  uint64_t messages_sent() const { return messages_; }
-  uint64_t bytes_sent() const { return bytes_; }
+  uint64_t messages_sent() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   const NetworkConfig& config() const { return config_; }
+
+  // The minimum cross-node influence delay: no callback on one node can
+  // affect another node's state earlier than this after it runs. The
+  // windowed backend's conservative lookahead.
+  Time min_cross_node_delay() const {
+    return config_.latency_ns + config_.am_handler_ns;
+  }
 
  private:
   Simulator* sim_;
   NetworkConfig config_;
   std::vector<Time> nic_free_;  // per-node injection availability
-  uint64_t messages_ = 0;
-  uint64_t bytes_ = 0;
+  // Commutative tallies, bumped from whichever worker runs the send
+  // callback; sums are order-independent, so still deterministic.
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace cr::sim

@@ -1,23 +1,165 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace cr::sim {
 
+namespace {
+constexpr Time kInfTime = std::numeric_limits<Time>::max();
+
+// Brief spin before yielding: the windowed backend must behave when the
+// host has fewer cores than workers (oversubscribed CI runners).
+void relax_wait(uint32_t& spins) {
+  if (++spins < 256) return;
+  spins = 0;
+  std::this_thread::yield();
+}
+}  // namespace
+
+thread_local Simulator::ExecCtx Simulator::tls_;
+
+Simulator::~Simulator() {
+  // Tear down the worker pool if a windowed run was interrupted (CHECK
+  // failures abort, so this is belt-and-braces for tests).
+  if (!threads_.empty()) {
+    quit_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+Time Simulator::now() const {
+  return in_context() ? tls_.now : now_;
+}
+
+uint64_t Simulator::current_cause() const {
+  return in_context() ? tls_.cause : current_cause_;
+}
+
+void Simulator::set_current_cause(uint64_t cause) {
+  if (in_context()) {
+    tls_.cause = cause;
+  } else {
+    current_cause_ = cause;
+  }
+}
+
+uint32_t Simulator::debug_affinity() { return tls_.affinity; }
+
+uint64_t Simulator::new_event_uid() {
+  // Events are minted by unroll-time wiring or serial phases; a node
+  // worker creating one would race the counter and the schedule.
+  CR_CHECK_MSG(!in_context() || tls_.affinity == kNoAffinity,
+               "event created from a worker callback");
+  return ++next_event_uid_;
+}
+
 void Simulator::schedule_at(Time t, std::function<void()> fn) {
-  CR_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Entry{t, next_seq_++, current_cause_, std::move(fn)});
-  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  if (!windowed_) {
+    CR_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    queue_.push(Entry{t, next_seq_++, current_cause_, kNoAffinity,
+                      std::move(fn)});
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+    return;
+  }
+  // Default target: stay on the scheduling affinity.
+  const uint32_t target =
+      in_context() ? tls_.affinity : kNoAffinity;
+  uint32_t creator = kNoAffinity;
+  uint64_t cseq = 0;
+  if (in_context() && tls_.affinity != kNoAffinity) {
+    CR_CHECK_MSG(t >= tls_.now, "cannot schedule into the past");
+    creator = tls_.affinity;
+    cseq = ++creator_seq_[creator];
+  } else {
+    if (in_context()) CR_CHECK_MSG(t >= tls_.now, "schedule into the past");
+    cseq = ++global_creator_seq_;
+  }
+  push_windowed(t, target, creator, cseq, std::move(fn));
 }
 
 void Simulator::schedule_after(Time dt, std::function<void()> fn) {
-  schedule_at(now_ + dt, std::move(fn));
+  schedule_at(now() + dt, std::move(fn));
+}
+
+void Simulator::schedule_at_affine(Time t, uint32_t node,
+                                   std::function<void()> fn) {
+  if (!windowed_) {
+    schedule_at(t, std::move(fn));
+    return;
+  }
+  CR_CHECK(node < nodes_);
+  uint32_t creator = kNoAffinity;
+  uint64_t cseq = 0;
+  if (in_context() && tls_.affinity != kNoAffinity) {
+    CR_CHECK_MSG(t >= tls_.now, "cannot schedule into the past");
+    creator = tls_.affinity;
+    cseq = ++creator_seq_[creator];
+  } else {
+    if (in_context()) CR_CHECK_MSG(t >= tls_.now, "schedule into the past");
+    cseq = ++global_creator_seq_;
+  }
+  push_windowed(t, node, creator, cseq, std::move(fn));
+}
+
+void Simulator::schedule_merge_completion(Time t, uint64_t merge_uid,
+                                          std::function<void()> fn) {
+  if (!windowed_) {
+    schedule_at(t, std::move(fn));
+    return;
+  }
+  // Key by the merge's unroll-assigned uid: whichever host thread
+  // happens to complete the countdown, the entry is identical.
+  push_windowed(t, kNoAffinity, kMergeCreator, merge_uid, std::move(fn));
+}
+
+void Simulator::push_windowed(Time t, uint32_t target, uint32_t creator,
+                              uint64_t cseq, std::function<void()> fn) {
+  Entry e{t, cseq, current_cause(), creator, std::move(fn)};
+  const bool from_worker =
+      running_ && in_context() && tls_.affinity != kNoAffinity;
+  if (!from_worker) {
+    // Unroll-time wiring or a serial phase: workers are parked, push
+    // straight into the target partition.
+    if (target == kNoAffinity) {
+      global_q_.push(std::move(e));
+    } else {
+      node_q_[target].push(std::move(e));
+    }
+    return;
+  }
+  if (target == tls_.affinity) {
+    node_q_[target].push(std::move(e));
+    return;
+  }
+  // Cross-affinity from a worker: mailbox, drained at the next barrier.
+  // Node-to-node influence must respect the conservative lookahead —
+  // anything scheduled inside the current window would have been missed.
+  if (target != kNoAffinity && t < win_end_) {
+    const std::string msg =
+        "cross-node schedule inside the lookahead window (from node " +
+        std::to_string(tls_.affinity) + " to node " + std::to_string(target) +
+        ", t=" + std::to_string(t) + ", window end=" +
+        std::to_string(win_end_) + ", cause uid=" + std::to_string(e.cause) +
+        ")";
+    support::check_failed("t >= win_end_", __FILE__, __LINE__, msg.c_str());
+  }
+  Mailbox& box = inbox_[target == kNoAffinity ? nodes_ : target];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.items.push_back(std::move(e));
 }
 
 Time Simulator::run() {
   CR_CHECK(!running_);
+  CR_CHECK_MSG(!windowed_, "begin_windowed() active: use run_windowed()");
   running_ = true;
   while (!queue_.empty()) {
     // Entry must be moved out before pop; priority_queue::top is const.
@@ -33,6 +175,183 @@ Time Simulator::run() {
     fn();
     current_cause_ = 0;
   }
+  running_ = false;
+  return now_;
+}
+
+void Simulator::begin_windowed(uint32_t nodes, Time lookahead) {
+  CR_CHECK(!running_ && !windowed_);
+  CR_CHECK_MSG(queue_.empty(), "begin_windowed() after scheduling started");
+  CR_CHECK(nodes > 0 && nodes < kMergeCreator);
+  CR_CHECK_MSG(lookahead > 0, "windowed backend needs a positive lookahead");
+  windowed_ = true;
+  nodes_ = nodes;
+  lookahead_ = lookahead;
+  node_q_.resize(nodes);
+  inbox_ = std::vector<Mailbox>(nodes + 1);
+  creator_seq_.assign(nodes, 0);
+}
+
+void Simulator::drain_inboxes() {
+  for (uint32_t i = 0; i <= nodes_; ++i) {
+    Mailbox& box = inbox_[i];
+    std::lock_guard<std::mutex> lock(box.mu);
+    Queue& q = i == nodes_ ? global_q_ : node_q_[i];
+    for (Entry& e : box.items) q.push(std::move(e));
+    box.items.clear();
+  }
+}
+
+Time Simulator::node_min_time() const {
+  Time m = kInfTime;
+  for (const Queue& q : node_q_) {
+    if (!q.empty()) m = std::min(m, q.top().time);
+  }
+  return m;
+}
+
+void Simulator::execute(const Entry& e, uint32_t affinity,
+                        uint64_t* processed, Time* max_time) {
+  tls_.now = e.time;
+  tls_.cause = e.cause;
+  if (exec_log_ != nullptr) {
+    (*exec_log_)[affinity == kNoAffinity ? nodes_ : affinity].push_back(
+        ExecRecord{e.time, e.creator, e.seq});
+  }
+  ++*processed;
+  if (e.time > *max_time) *max_time = e.time;
+  e.fn();
+  tls_.cause = 0;
+}
+
+void Simulator::process_nodes(uint32_t worker, uint32_t workers,
+                              Time window_end, uint64_t* processed,
+                              Time* max_time) {
+  support::Tracer* tracer = tracer_;
+  for (uint32_t n = worker; n < nodes_; n += workers) {
+    Queue& q = node_q_[n];
+    if (q.empty() || q.top().time >= window_end) continue;
+    tls_.owner = this;
+    tls_.affinity = n;
+    if (tracer != nullptr) support::Tracer::set_thread_lane(n);
+    while (!q.empty() && q.top().time < window_end) {
+      auto& top = const_cast<Entry&>(q.top());
+      Entry e{top.time, top.seq, top.cause, top.creator, std::move(top.fn)};
+      q.pop();
+      execute(e, n, processed, max_time);
+    }
+    if (tracer != nullptr) support::Tracer::set_thread_lane(-1);
+    tls_.owner = nullptr;
+    tls_.affinity = kNoAffinity;
+  }
+}
+
+void Simulator::worker_main(uint32_t worker) {
+  uint64_t seen = 0;
+  uint32_t spins = 0;
+  for (;;) {
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      relax_wait(spins);
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    if (quit_.load(std::memory_order_acquire)) return;
+    process_nodes(worker, num_workers_, win_end_,
+                  &worker_processed_[worker], &worker_max_time_[worker]);
+    done_workers_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+Time Simulator::run_windowed(uint32_t workers) {
+  CR_CHECK(!running_);
+  CR_CHECK_MSG(windowed_, "run_windowed() without begin_windowed()");
+  if (workers == 0) workers = 1;
+  num_workers_ = std::min(workers, nodes_);
+  running_ = true;
+  if (exec_log_ != nullptr) {
+    exec_log_->assign(nodes_ + 1, {});
+  }
+  support::Tracer* tracer = tracer_;
+  if (tracer != nullptr) tracer->begin_sharded(nodes_ + 1);
+
+  worker_processed_.assign(num_workers_, 0);
+  worker_max_time_.assign(num_workers_, 0);
+  quit_.store(false, std::memory_order_release);
+  for (uint32_t w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+
+  uint64_t serial_processed = 0;
+  Time serial_max_time = 0;
+  for (;;) {
+    drain_inboxes();
+    // Serial phase: global entries (barrier fan-ins and releases, merge
+    // completions) run strictly before any node entry at or after their
+    // time. Their callbacks may push node entries directly — workers
+    // are parked — so the frontier is recomputed as they run.
+    Time node_min = node_min_time();
+    while (!global_q_.empty() && global_q_.top().time <= node_min) {
+      auto& top = const_cast<Entry&>(global_q_.top());
+      Entry e{top.time, top.seq, top.cause, top.creator, std::move(top.fn)};
+      global_q_.pop();
+      tls_.owner = this;
+      tls_.affinity = kNoAffinity;
+      if (tracer != nullptr) support::Tracer::set_thread_lane(
+          static_cast<int32_t>(nodes_));
+      execute(e, kNoAffinity, &serial_processed, &serial_max_time);
+      if (tracer != nullptr) support::Tracer::set_thread_lane(-1);
+      tls_.owner = nullptr;
+      node_min = node_min_time();
+    }
+    if (node_min == kInfTime) {
+      CR_CHECK(global_q_.empty());
+      break;
+    }
+    // Conservative window: node entries in [node_min, B) are mutually
+    // independent across nodes (cross-node influence needs at least
+    // `lookahead_` of wire time) and must not run past a pending global
+    // entry (its serial callbacks may feed these very nodes).
+    Time window_end = node_min + lookahead_;
+    if (!global_q_.empty()) {
+      window_end = std::min(window_end, global_q_.top().time);
+    }
+    CR_CHECK(window_end > node_min);
+    win_end_ = window_end;
+
+    uint64_t pending = global_q_.size();
+    for (const Queue& q : node_q_) pending += q.size();
+    if (pending > max_queue_depth_) max_queue_depth_ = pending;
+
+    if (num_workers_ > 1) {
+      done_workers_.store(0, std::memory_order_release);
+      epoch_.fetch_add(1, std::memory_order_release);
+      process_nodes(0, num_workers_, window_end, &worker_processed_[0],
+                    &worker_max_time_[0]);
+      uint32_t spins = 0;
+      while (done_workers_.load(std::memory_order_acquire) !=
+             num_workers_ - 1) {
+        relax_wait(spins);
+      }
+    } else {
+      process_nodes(0, 1, window_end, &worker_processed_[0],
+                    &worker_max_time_[0]);
+    }
+  }
+
+  if (!threads_.empty()) {
+    quit_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  }
+  uint64_t processed = serial_processed;
+  Time max_time = serial_max_time;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    processed += worker_processed_[w];
+    max_time = std::max(max_time, worker_max_time_[w]);
+  }
+  events_processed_ += processed;
+  now_ = max_time;
+  if (tracer != nullptr) tracer->end_sharded();
   running_ = false;
   return now_;
 }

@@ -2,14 +2,38 @@
 //
 // This is the substitute for a physical cluster. All runtime activity —
 // task execution, copies, synchronization, network messages — is expressed
-// as callbacks scheduled at virtual times. Ties are broken by insertion
-// sequence number, so a given program unrolling always produces the same
-// timeline (bit-for-bit deterministic results).
+// as callbacks scheduled at virtual times.
+//
+// Two execution backends drain the queue:
+//
+//  - run(): the sequential reference loop. One global queue ordered by
+//    (time, insertion sequence), so a given program unrolling always
+//    produces the same timeline (bit-for-bit deterministic results).
+//
+//  - begin_windowed(nodes, lookahead) + run_windowed(workers): the
+//    multi-worker backend. Every scheduled entry carries an *affinity*
+//    (the simulated node whose state its callback touches, or the global
+//    coordinator), and the queue is partitioned per node. Workers execute
+//    node partitions concurrently inside conservative lookahead windows
+//    [T, B) with B - T bounded by the minimum cross-node network latency:
+//    a callback running at time t can influence another node no earlier
+//    than t + lookahead >= B, so nodes are independent within a window.
+//    Global entries (barrier fan-ins, merge completions) run in a serial
+//    phase at window boundaries, strictly before the window's node
+//    entries. Ties are broken by a (time, creator affinity, creator
+//    sequence) key assigned at creation: each affinity's creations are
+//    numbered by its own deterministic execution order, so the full
+//    schedule — and therefore every virtual-time result, metrics
+//    snapshot and trace — is bit-identical for any worker count.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "sim/event.h"
@@ -21,9 +45,31 @@ class Tracer;
 
 namespace cr::sim {
 
+// Affinity tags. Node affinities are the node index; kNoAffinity marks
+// the global coordinator (unroll-time scheduling, serial phases);
+// kMergeCreator keys deferred merge completions by merge uid so the
+// completing host thread never influences the schedule.
+inline constexpr uint32_t kNoAffinity = UINT32_MAX;
+inline constexpr uint32_t kMergeCreator = UINT32_MAX - 1;
+
+// One executed entry, as recorded by set_exec_log (windowed mode only):
+// the per-node execution orders are the determinism witness the property
+// tests compare across worker counts.
+struct ExecRecord {
+  Time time = 0;
+  uint32_t creator = 0;
+  uint64_t cseq = 0;
+  friend bool operator==(const ExecRecord&, const ExecRecord&) = default;
+};
+
 class Simulator {
  public:
-  Time now() const { return now_; }
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const;
 
   // Attach (or detach with nullptr) a trace recorder. Every component
   // holding a Simulator reference reaches the tracer through here; a
@@ -39,40 +85,104 @@ class Simulator {
   // The uid of the event whose trigger (or triggered-subscription) is
   // causally responsible for the code currently running; 0 when none.
   // Captured by schedule_at so causality crosses deferred callbacks.
-  uint64_t current_cause() const { return current_cause_; }
-  void set_current_cause(uint64_t cause) { current_cause_ = cause; }
+  uint64_t current_cause() const;
+  void set_current_cause(uint64_t cause);
 
-  // Unique id for a new event's trace identity.
-  uint64_t new_event_uid() { return ++next_event_uid_; }
+  // Unique id for a new event's trace identity. Events are created by
+  // unroll-time wiring (single-threaded); worker callbacks must not mint
+  // uids (CHECK-enforced in windowed mode).
+  uint64_t new_event_uid();
 
-  // Schedule fn at absolute virtual time t (>= now()).
+  // Schedule fn at absolute virtual time t (>= now()). In windowed mode
+  // the entry inherits the ambient affinity (callbacks stay on the node
+  // that scheduled them; coordinator/unroll scheduling is global).
   void schedule_at(Time t, std::function<void()> fn);
   // Schedule fn dt ns from now.
   void schedule_after(Time dt, std::function<void()> fn);
+  // Schedule fn at t with an explicit node affinity: the callback runs
+  // on (and may touch the state of) node `node`. Cross-node scheduling
+  // from a worker requires t >= the current window boundary — which the
+  // network latency guarantees (CHECK-enforced).
+  void schedule_at_affine(Time t, uint32_t node, std::function<void()> fn);
+  // Schedule a merge completion at t, keyed (t, kMergeCreator,
+  // merge_uid): any worker may request it, the key never depends on
+  // which one did. Runs in the serial phase (global affinity).
+  void schedule_merge_completion(Time t, uint64_t merge_uid,
+                                 std::function<void()> fn);
 
-  // Run until the queue drains. Returns the final time.
+  // Run until the queue drains (sequential reference loop). Returns the
+  // final time. Must not be mixed with begin_windowed().
   Time run();
 
-  // True while run() is processing events.
+  // Switch to the windowed backend. Call before any scheduling (i.e.
+  // before the program unroll); `lookahead` is the minimum cross-node
+  // influence delay (network latency + handler cost) and must be > 0.
+  void begin_windowed(uint32_t nodes, Time lookahead);
+  bool windowed() const { return windowed_; }
+  // Drain the partitioned queues with `workers` host threads (>= 1).
+  // Bit-identical results for any worker count. Returns the final time.
+  Time run_windowed(uint32_t workers);
+
+  // Record every executed entry per affinity lane (nodes_ + 1 lanes,
+  // last = global). Windowed mode only; pass nullptr to disable.
+  void set_exec_log(std::vector<std::vector<ExecRecord>>* log) {
+    exec_log_ = log;
+  }
+
+  // True while run() / run_windowed() is processing events.
   bool running() const { return running_; }
+
+  // The calling thread's current execution affinity (kNoAffinity when
+  // not inside a node partition — unroll, serial phase, or outside the
+  // simulator entirely). Debugging/diagnostic aid.
+  static uint32_t debug_affinity();
 
   uint64_t events_processed() const { return events_processed_; }
 
-  // High-water mark of the pending-event queue (scheduler occupancy).
+  // High-water mark of pending entries: per push in the sequential loop,
+  // per window boundary (total over all partitions) in windowed mode.
   uint64_t max_queue_depth() const { return max_queue_depth_; }
 
  private:
   struct Entry {
     Time time;
-    uint64_t seq;
+    uint64_t seq;    // legacy: global insertion seq; windowed: creator seq
     uint64_t cause;  // ambient current_cause() at schedule time
+    uint32_t creator = kNoAffinity;  // windowed tie-break: creating affinity
     std::function<void()> fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+      if (a.time != b.time) return a.time > b.time;
+      if (a.creator != b.creator) return a.creator > b.creator;
+      return a.seq > b.seq;
     }
   };
+  using Queue = std::priority_queue<Entry, std::vector<Entry>, Later>;
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Entry> items;
+  };
+  // Per-thread execution context (windowed mode): the entry being
+  // executed provides the clock, the ambient cause and the affinity.
+  struct ExecCtx {
+    const Simulator* owner = nullptr;
+    Time now = 0;
+    uint64_t cause = 0;
+    uint32_t affinity = kNoAffinity;
+  };
+  static thread_local ExecCtx tls_;
+
+  bool in_context() const { return tls_.owner == this; }
+  void push_windowed(Time t, uint32_t target, uint32_t creator,
+                     uint64_t cseq, std::function<void()> fn);
+  void execute(const Entry& e, uint32_t affinity, uint64_t* processed,
+               Time* max_time);
+  void process_nodes(uint32_t worker, uint32_t workers, Time window_end,
+                     uint64_t* processed, Time* max_time);
+  void drain_inboxes();
+  Time node_min_time() const;
+  void worker_main(uint32_t worker);
 
   Time now_ = 0;
   uint64_t next_seq_ = 0;
@@ -83,7 +193,31 @@ class Simulator {
   uint64_t events_processed_ = 0;
   uint64_t max_queue_depth_ = 0;
   bool running_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Queue queue_;  // legacy (sequential) queue
+
+  // --- windowed backend state ------------------------------------------
+  bool windowed_ = false;
+  uint32_t nodes_ = 0;
+  Time lookahead_ = 0;
+  std::vector<Queue> node_q_;          // per-node partitions
+  Queue global_q_;                     // coordinator partition
+  std::vector<Mailbox> inbox_;         // nodes_ + 1, last = global
+  std::vector<uint64_t> creator_seq_;  // per-node creation counters
+  uint64_t global_creator_seq_ = 0;
+  Time win_end_ = 0;  // current window boundary B (cross-push CHECK)
+  std::vector<std::vector<ExecRecord>>* exec_log_ = nullptr;
+
+  // Worker rendezvous: the coordinator publishes a window, bumps the
+  // epoch, processes its own share, then waits for the others. Workers
+  // spin briefly and then yield (the backend must degrade gracefully
+  // when host cores < workers).
+  uint32_t num_workers_ = 0;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> done_workers_{0};
+  std::atomic<bool> quit_{false};
+  std::vector<std::thread> threads_;
+  std::vector<uint64_t> worker_processed_;
+  std::vector<Time> worker_max_time_;
 };
 
 }  // namespace cr::sim

@@ -1,6 +1,8 @@
 #include "support/json.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 
 namespace cr::support {
@@ -136,6 +138,45 @@ class Parser {
     }
   }
 
+  bool hex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char h = text_[pos_ + k];
+      uint32_t d;
+      if (h >= '0' && h <= '9') {
+        d = static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        d = static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        d = static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+      out = (out << 4) | d;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool string(std::string& out) {
     ++pos_;  // '"'
     out.clear();
@@ -158,13 +199,26 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          // Our writers never emit \u escapes; decode the BMP code point
-          // as a raw byte when it fits, '?' otherwise.
-          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          const long cp = std::strtol(hex.c_str(), nullptr, 16);
-          out.push_back(cp > 0 && cp < 128 ? static_cast<char>(cp) : '?');
+          uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            if (!hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(cp, out);
           break;
         }
         default:
@@ -176,19 +230,57 @@ class Parser {
 
   bool number(JsonValue& out) {
     const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
+    // JSON allows a leading '-' only ('+' is not a valid first char).
+    if (pos_ < text_.size() && !std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_])) &&
+        text_[pos_] != '-') {
+      return fail("expected value");
     }
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        integral = false;
+      }
       ++pos_;
     }
     if (pos_ == start) return fail("expected value");
-    char* end = nullptr;
     const std::string token = text_.substr(start, pos_ - start);
+    if (token == "-") return fail("bad number");
     out.kind = JsonValue::Kind::kNumber;
+    // Integral tokens keep an exact 64-bit payload when they fit: a
+    // double rounds u64 counters at 2^53 and above, which would corrupt
+    // large metric values (bytes moved, virtual-time sums) on re-read.
+    if (integral) {
+      char* end = nullptr;
+      errno = 0;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && errno != ERANGE) {
+          out.has_i64 = true;
+          out.i64 = v;
+          out.num = static_cast<double>(v);
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && errno != ERANGE) {
+          out.has_u64 = true;
+          out.u64 = v;
+          if (v <= static_cast<uint64_t>(INT64_MAX)) {
+            out.has_i64 = true;
+            out.i64 = static_cast<int64_t>(v);
+          }
+          out.num = static_cast<double>(v);
+          return true;
+        }
+      }
+      // Out of 64-bit range: fall back to the double path below.
+    }
+    char* end = nullptr;
     out.num = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') return fail("bad number");
     return true;

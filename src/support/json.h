@@ -1,10 +1,12 @@
 #pragma once
 
 // Minimal recursive-descent JSON reader for the bench_diff comparator
-// and tests. Handles the subset our own writers emit (objects, arrays,
-// strings with backslash escapes, numbers, booleans, null); numbers all
-// parse as double, matching the MetricsRegistry snapshot domain.
+// and tests. Handles objects, arrays, strings (all escapes including
+// \uXXXX with surrogate pairs, decoded to UTF-8), numbers, booleans and
+// null. Numbers parse as double; integral tokens that fit in 64 bits
+// additionally keep an exact integer payload (see JsonValue).
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -16,6 +18,15 @@ struct JsonValue {
   Kind kind = Kind::kNull;
   bool b = false;
   double num = 0;
+  // Exact integer payloads. A double cannot represent every uint64_t
+  // (2^53 and up lose low bits), so integral tokens that fit are also
+  // kept exactly: `has_u64`/`u64` for 0..UINT64_MAX, `has_i64`/`i64`
+  // for INT64_MIN..INT64_MAX. `num` always holds the (possibly rounded)
+  // double view.
+  bool has_u64 = false;
+  bool has_i64 = false;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
   std::string str;
   std::vector<JsonValue> arr;
   // Insertion-ordered so diffs report keys in file order.

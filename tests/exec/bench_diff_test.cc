@@ -122,6 +122,38 @@ TEST(BenchDiff, ZeroBaselineRegressesOnAnyGrowth) {
   EXPECT_NE(r.regressions[0].find("check.races"), std::string::npos);
 }
 
+TEST(BenchDiff, ZeroBaselineWithinEpsilonPasses) {
+  // base == 0 used to gate as `cur > 0`: any float dust (a tiny gauge
+  // value, a rounding residue) flagged a regression. The absolute
+  // epsilon fallback tolerates near-zero noise while still comparing.
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"exec.control_busy_frac":0}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,
+     "metrics":{"exec.control_busy_frac":1e-12}}]}]})";
+  DiffOptions opt;
+  opt.all_pct = 5.0;
+  const DiffResult r = bench_diff(base, cur, opt);
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  // Identical zeros pass too, and the comparison is reported.
+  const DiffResult same = bench_diff(base, base, opt);
+  EXPECT_TRUE(same.ok()) << same.to_text();
+  EXPECT_EQ(same.lines.size(), 2u);  // makespan + the zero metric
+}
+
+TEST(BenchDiff, ZeroBaselineEpsilonIsConfigurable) {
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"m":0}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"m":0.5}}]}]})";
+  DiffOptions opt;
+  opt.all_pct = 5.0;
+  opt.zero_abs_eps = 1.0;  // 0 -> 0.5 tolerated at this epsilon
+  EXPECT_TRUE(bench_diff(base, cur, opt).ok());
+  opt.zero_abs_eps = 0.1;  // ...but not at this one
+  EXPECT_FALSE(bench_diff(base, cur, opt).ok());
+}
+
 TEST(BenchDiff, MalformedJsonIsAnError) {
   const DiffResult r = bench_diff("{not json", kBaseline, DiffOptions{});
   EXPECT_FALSE(r.ok());

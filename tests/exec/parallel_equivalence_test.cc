@@ -1,0 +1,120 @@
+// Cross-mode equivalence harness for the windowed multi-worker backend
+// (DESIGN.md "Deterministic multi-worker backend"): for each of the four
+// paper apps, every worker count must produce the same virtual timeline
+// as the single-worker windowed run — bit-identical makespans, metrics
+// snapshots, and race-checker verdicts. The worker count may change
+// which host thread delivers an event, never what the event does or
+// when it happens in virtual time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/circuit/circuit.h"
+#include "apps/miniaero/miniaero.h"
+#include "apps/pennant/pennant.h"
+#include "apps/stencil/stencil.h"
+#include "exec/implicit_exec.h"
+
+namespace cr::exec {
+namespace {
+
+ir::Program build_app(rt::Runtime& rt, const std::string& app,
+                      uint32_t nodes) {
+  if (app == "stencil") {
+    apps::stencil::Config cfg;
+    cfg.nodes = nodes;
+    cfg.tasks_per_node = 2;
+    cfg.tile_x = 16;
+    cfg.tile_y = 16;
+    cfg.steps = 2;
+    return apps::stencil::build(rt, cfg).program;
+  }
+  if (app == "circuit") {
+    apps::circuit::Config cfg;
+    cfg.nodes = nodes;
+    cfg.pieces_per_node = 2;
+    cfg.nodes_per_piece = 16;
+    cfg.wires_per_piece = 32;
+    cfg.steps = 2;
+    return apps::circuit::build(rt, cfg).program;
+  }
+  if (app == "pennant") {
+    apps::pennant::Config cfg;
+    cfg.nodes = nodes;
+    cfg.pieces_per_node = 2;
+    cfg.zones_x_per_piece = 6;
+    cfg.zones_y = 6;
+    cfg.steps = 2;
+    return apps::pennant::build(rt, cfg).program;
+  }
+  apps::miniaero::Config cfg;
+  cfg.nodes = nodes;
+  cfg.pieces_per_node = 2;
+  cfg.cells_x_per_piece = 4;
+  cfg.cells_y = 4;
+  cfg.cells_z = 4;
+  cfg.steps = 2;
+  return apps::miniaero::build(rt, cfg).program;
+}
+
+ExecutionResult run_app(const std::string& app, uint32_t workers) {
+  CostModel cost;
+  cost.track_dependences = false;
+  const uint32_t nodes = 4;
+  rt::Runtime rt(runtime_config(nodes, 4, cost, /*real_data=*/false));
+  ir::Program program = build_app(rt, app, nodes);
+  for (auto& t : program.tasks) t.kernel = nullptr;
+  ExecConfig cfg;
+  cfg.cost = cost;
+  cfg.mode = ExecMode::kSpmd;
+  cfg.workers = workers;
+  cfg.check = true;
+  PreparedRun run = prepare(rt, std::move(program), cfg);
+  return run.run();
+}
+
+// Worker counts required by the equivalence contract: 1, 2, 4 and the
+// host's hardware concurrency (deduplicated).
+std::vector<uint32_t> worker_counts() {
+  std::vector<uint32_t> counts = {1, 2, 4};
+  const uint32_t hw = std::thread::hardware_concurrency();
+  if (hw > 0 && hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+void expect_bit_identical(const std::string& app) {
+  const ExecutionResult ref = run_app(app, 1);
+  ASSERT_GT(ref.makespan_ns, 0u);
+  ASSERT_GT(ref.point_tasks, 0u);
+  ASSERT_NE(ref.check, nullptr);
+  for (const uint32_t w : worker_counts()) {
+    if (w == 1) continue;
+    const ExecutionResult res = run_app(app, w);
+    EXPECT_EQ(res.makespan_ns, ref.makespan_ns) << app << " workers=" << w;
+    EXPECT_EQ(res.point_tasks, ref.point_tasks) << app << " workers=" << w;
+    EXPECT_EQ(res.bytes_moved, ref.bytes_moved) << app << " workers=" << w;
+    EXPECT_EQ(res.messages, ref.messages) << app << " workers=" << w;
+    // The full metrics snapshot — every sim./rt./exec./check. counter —
+    // must match key for key, value for value.
+    EXPECT_EQ(res.metrics, ref.metrics) << app << " workers=" << w;
+    // Identical race-checker verdict.
+    ASSERT_NE(res.check, nullptr) << app << " workers=" << w;
+    EXPECT_EQ(res.check->ok(), ref.check->ok()) << app << " workers=" << w;
+    EXPECT_EQ(res.check->races.size(), ref.check->races.size())
+        << app << " workers=" << w;
+    EXPECT_EQ(res.check->stats.accesses, ref.check->stats.accesses)
+        << app << " workers=" << w;
+    EXPECT_EQ(res.check->stats.pairs_checked, ref.check->stats.pairs_checked)
+        << app << " workers=" << w;
+  }
+}
+
+TEST(ParallelEquivalence, Stencil) { expect_bit_identical("stencil"); }
+TEST(ParallelEquivalence, Circuit) { expect_bit_identical("circuit"); }
+TEST(ParallelEquivalence, Pennant) { expect_bit_identical("pennant"); }
+TEST(ParallelEquivalence, MiniAero) { expect_bit_identical("miniaero"); }
+
+}  // namespace
+}  // namespace cr::exec

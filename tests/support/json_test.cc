@@ -1,0 +1,132 @@
+// Regression tests for the JSON reader: escape handling inside keys and
+// values, \uXXXX decoding (including surrogate pairs), and exact
+// round-tripping of integers at the edge of uint64_t.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace cr::support {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, v, error)) << error;
+  return v;
+}
+
+void parse_fails(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse(text, v, error)) << "accepted: " << text;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, EscapedQuoteAndBackslashInValues) {
+  const JsonValue v = parse_ok(R"({"s":"a\"b\\c\/d\n"})");
+  ASSERT_NE(v.get("s"), nullptr);
+  EXPECT_EQ(v.get("s")->str, "a\"b\\c/d\n");
+}
+
+TEST(Json, EscapedCharactersInKeys) {
+  const JsonValue v = parse_ok(R"({"k\"ey\\1":1,"k\tey2":2})");
+  ASSERT_NE(v.get("k\"ey\\1"), nullptr);
+  EXPECT_EQ(v.get("k\"ey\\1")->num, 1);
+  ASSERT_NE(v.get("k\tey2"), nullptr);
+  EXPECT_EQ(v.get("k\tey2")->num, 2);
+}
+
+TEST(Json, UnicodeEscapeAscii) {
+  const JsonValue v = parse_ok("[\"\\u0041\\u007a\"]");
+  ASSERT_EQ(v.arr.size(), 1u);
+  EXPECT_EQ(v.arr[0].str, "Az");
+}
+
+TEST(Json, UnicodeEscapeTwoAndThreeByteUtf8) {
+  // U+00E9 -> 0xC3 0xA9; U+20AC -> 0xE2 0x82 0xAC.
+  const JsonValue v = parse_ok("[\"\\u00e9\\u20AC\"]");
+  ASSERT_EQ(v.arr.size(), 1u);
+  EXPECT_EQ(v.arr[0].str, "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, UnicodeEscapeSurrogatePair) {
+  // U+1F600 (surrogate pair D83D DE00) -> 0xF0 0x9F 0x98 0x80.
+  const JsonValue v = parse_ok("[\"\\uD83D\\uDE00\"]");
+  ASSERT_EQ(v.arr.size(), 1u);
+  EXPECT_EQ(v.arr[0].str, "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, UnicodeEscapeRejectsMalformed) {
+  parse_fails("[\"\\u12\"]");          // truncated
+  parse_fails("[\"\\u12G4\"]");        // non-hex digit
+  parse_fails("[\"\\uD83D\"]");        // unpaired high surrogate
+  parse_fails("[\"\\uD83Dxy\"]");      // high surrogate, no \\u follows
+  parse_fails("[\"\\uD83D\\u0041\"]");  // high surrogate, bad low half
+  parse_fails("[\"\\uDE00\"]");        // unpaired low surrogate
+}
+
+TEST(Json, Uint64EdgeValuesRoundTripExactly) {
+  // 2^53 + 1 is the first integer a double cannot represent.
+  const uint64_t edges[] = {0,
+                            1,
+                            (uint64_t{1} << 53) - 1,
+                            (uint64_t{1} << 53) + 1,
+                            uint64_t{INT64_MAX},
+                            uint64_t{INT64_MAX} + 1,
+                            UINT64_MAX - 1,
+                            UINT64_MAX};
+  for (const uint64_t e : edges) {
+    const JsonValue v = parse_ok("[" + std::to_string(e) + "]");
+    ASSERT_EQ(v.arr.size(), 1u);
+    EXPECT_TRUE(v.arr[0].is_number());
+    ASSERT_TRUE(v.arr[0].has_u64) << e;
+    EXPECT_EQ(v.arr[0].u64, e) << e;
+    EXPECT_EQ(v.arr[0].has_i64, e <= uint64_t{INT64_MAX}) << e;
+  }
+}
+
+TEST(Json, Int64EdgeValuesRoundTripExactly) {
+  const int64_t edges[] = {-1, INT64_MIN + 1, INT64_MIN,
+                           -(int64_t{1} << 53) - 1};
+  for (const int64_t e : edges) {
+    const JsonValue v = parse_ok("[" + std::to_string(e) + "]");
+    ASSERT_EQ(v.arr.size(), 1u);
+    ASSERT_TRUE(v.arr[0].has_i64) << e;
+    EXPECT_EQ(v.arr[0].i64, e) << e;
+    EXPECT_FALSE(v.arr[0].has_u64) << e;
+  }
+}
+
+TEST(Json, IntegersBeyond64BitsFallBackToDouble) {
+  const JsonValue v = parse_ok("[18446744073709551616]");  // 2^64
+  ASSERT_EQ(v.arr.size(), 1u);
+  EXPECT_TRUE(v.arr[0].is_number());
+  EXPECT_FALSE(v.arr[0].has_u64);
+  EXPECT_FALSE(v.arr[0].has_i64);
+  EXPECT_DOUBLE_EQ(v.arr[0].num, 18446744073709551616.0);
+}
+
+TEST(Json, FractionalAndExponentNumbersStayDoubles) {
+  const JsonValue v = parse_ok(R"([1.5,-2.25e2,1e3])");
+  ASSERT_EQ(v.arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.arr[0].num, 1.5);
+  EXPECT_FALSE(v.arr[0].has_u64);
+  EXPECT_DOUBLE_EQ(v.arr[1].num, -225.0);
+  EXPECT_DOUBLE_EQ(v.arr[2].num, 1000.0);
+}
+
+TEST(Json, RejectsLeadingPlus) {
+  parse_fails("[+5]");
+}
+
+TEST(Json, RejectsBareMinusAndGarbage) {
+  parse_fails("[-]");
+  parse_fails("[1.2.3]");
+  parse_fails("[\"\\q\"]");
+}
+
+}  // namespace
+}  // namespace cr::support

@@ -17,7 +17,9 @@ TEST(Histogram, BucketBoundaries) {
   EXPECT_EQ(Histogram::bucket_of(2), 2u);
   EXPECT_EQ(Histogram::bucket_of(3), 2u);
   EXPECT_EQ(Histogram::bucket_of(4), 3u);
-  for (size_t k = 0; k < 63; ++k) {
+  // Every power-of-two edge up to 2^63: the power itself opens bucket
+  // k+1 and the value just below it closes bucket k.
+  for (size_t k = 0; k < 64; ++k) {
     const uint64_t pow = 1ull << k;
     EXPECT_EQ(Histogram::bucket_of(pow), k + 1) << "2^" << k;
     if (pow > 1) {
@@ -28,6 +30,27 @@ TEST(Histogram, BucketBoundaries) {
   }
   EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), 64u);
   EXPECT_EQ(Histogram::bucket_hi(64), UINT64_MAX);
+}
+
+TEST(Histogram, EveryBucketEdgeLandsInItsOwnBucket) {
+  // A value equal to a bucket's lower or upper edge must land in that
+  // bucket (never the neighbor), and consecutive buckets must tile the
+  // u64 range with no gap or overlap: hi(b) + 1 == lo(b + 1).
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b) << b;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b)), b) << b;
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::bucket_hi(b) + 1, Histogram::bucket_lo(b + 1))
+          << b;
+    }
+  }
+  // Recording at the edges tallies where bucket_of points.
+  Histogram h;
+  h.record(uint64_t{1} << 63);        // lo edge of the last bucket
+  h.record(UINT64_MAX);               // its saturated hi edge
+  h.record((uint64_t{1} << 63) - 1);  // hi edge of bucket 63
+  EXPECT_EQ(h.buckets()[64], 2u);
+  EXPECT_EQ(h.buckets()[63], 1u);
 }
 
 TEST(Histogram, RecordAndStats) {

@@ -1,0 +1,117 @@
+// Host-speedup measurement for the windowed multi-worker DES backend:
+// run the stencil app at a fixed node count under the legacy sequential
+// event loop (workers=0) and under the windowed backend at increasing
+// worker counts, timing each run's host wall clock. All windowed runs
+// must report identical makespans (the determinism contract); the tool
+// exits nonzero if they diverge. Results feed EXPERIMENTS.md.
+//
+//   parallel_speedup [--nodes=<n>] [--steps=<n>] [--max-workers=<n>]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/stencil/stencil.h"
+#include "exec/implicit_exec.h"
+
+namespace {
+
+struct Measured {
+  uint32_t workers = 0;  // 0 = legacy sequential loop
+  cr::sim::Time makespan_ns = 0;
+  double host_seconds = 0;
+};
+
+Measured run_once(uint32_t nodes, uint64_t steps, uint32_t workers) {
+  cr::exec::CostModel cost = cr::exec::CostModel::piz_daint();
+  cost.track_dependences = false;
+  cr::rt::Runtime rt(
+      cr::exec::runtime_config(nodes, 12, cost, /*real_data=*/false));
+  cr::apps::stencil::Config cfg;
+  cfg.nodes = nodes;
+  cfg.tasks_per_node = 4;
+  cfg.tile_x = 32;
+  cfg.tile_y = 32;
+  cfg.steps = steps;
+  cr::apps::stencil::App app = cr::apps::stencil::build(rt, cfg);
+  for (auto& t : app.program.tasks) t.kernel = nullptr;
+  cr::exec::ExecConfig ecfg;
+  ecfg.cost = cost;
+  ecfg.mode = cr::exec::ExecMode::kSpmd;
+  ecfg.workers = workers;
+  cr::exec::PreparedRun run = cr::exec::prepare(rt, app.program, ecfg);
+  const auto begin = std::chrono::steady_clock::now();
+  const cr::exec::ExecutionResult res = run.run();
+  Measured out;
+  out.workers = workers;
+  out.makespan_ns = res.makespan_ns;
+  out.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes=<n>] [--steps=<n>] [--max-workers=<n>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t nodes = 64;
+  uint64_t steps = 8;
+  uint32_t max_workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) {
+      nodes = static_cast<uint32_t>(std::atoi(arg.c_str() + 8));
+    } else if (arg.rfind("--steps=", 0) == 0) {
+      steps = static_cast<uint64_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--max-workers=", 0) == 0) {
+      max_workers = static_cast<uint32_t>(std::atoi(arg.c_str() + 14));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<Measured> runs;
+  runs.push_back(run_once(nodes, steps, 0));  // legacy reference loop
+  for (uint32_t w = 1; w <= max_workers; w *= 2) {
+    runs.push_back(run_once(nodes, steps, w));
+  }
+
+  std::printf("stencil, %u nodes, %llu steps\n", nodes,
+              static_cast<unsigned long long>(steps));
+  std::printf("%-10s %16s %12s %10s\n", "backend", "makespan_ns", "host_s",
+              "speedup");
+  double windowed1 = 0;
+  for (const Measured& m : runs) {
+    if (m.workers == 1) windowed1 = m.host_seconds;
+  }
+  bool diverged = false;
+  cr::sim::Time windowed_makespan = 0;
+  for (const Measured& m : runs) {
+    std::string name =
+        m.workers == 0 ? "legacy" : "workers=" + std::to_string(m.workers);
+    const double speedup =
+        m.workers >= 1 && m.host_seconds > 0 ? windowed1 / m.host_seconds : 0;
+    std::printf("%-10s %16llu %12.3f %10.2f\n", name.c_str(),
+                static_cast<unsigned long long>(m.makespan_ns),
+                m.host_seconds, speedup);
+    if (m.workers >= 1) {
+      if (windowed_makespan == 0) windowed_makespan = m.makespan_ns;
+      if (m.makespan_ns != windowed_makespan) diverged = true;
+    }
+  }
+  if (diverged) {
+    std::fprintf(stderr,
+                 "FAIL: windowed makespans diverged across worker counts\n");
+    return 1;
+  }
+  return 0;
+}
