@@ -69,28 +69,32 @@ double run_engine(bench::Bench& bench, uint32_t nodes, bool spmd) {
 
 // --selftime dependence study: the implicit master's dynamic dependence
 // analysis with the full tracker enabled, indexed vs exhaustive linear
-// scan. Virtual time is charged on pairs_scanned in both modes, so the
-// makespans must be bit-identical; the index only reduces how many exact
-// conflict tests (pairs_tested) the host performs.
-void dependence_study(bench::Bench& bench,
+// scan, plus trace capture & replay on top of the index. Virtual time
+// is charged on pairs_scanned in every mode, so the makespans must be
+// bit-identical; the index reduces how many exact conflict tests
+// (pairs_tested) the host performs, and replay removes the steady-state
+// remainder entirely. Returns false if any makespan diverged.
+bool dependence_study(bench::Bench& bench,
                       exec::ScalingReport& analysis_report) {
-  if (!bench.options().selftime) return;
+  if (!bench.options().selftime) return true;
   const uint32_t nodes = cr::bench::node_counts().back();
   struct StudyRun {
     exec::ExecutionResult res;
     double host_seconds = 0;
   };
-  auto run_one = [&](bool linear) {
+  auto run_one = [&](bool linear, bool replay, uint64_t steps) {
     exec::CostModel cost = exec::CostModel::piz_daint();
     cost.track_dependences = true;
-    Config cfg = make_config(nodes, 4);
+    Config cfg = make_config(nodes, steps);
     rt::Runtime rt(exec::runtime_config(nodes, 12, cost, false));
     rt.deps().set_linear_scan(linear);
     apps::stencil::App app = apps::stencil::build(rt, cfg);
     for (auto& t : app.program.tasks) t.kernel = nullptr;
-    exec::PreparedRun run =
-        exec::prepare(rt, app.program,
-                      bench.config(exec::ExecMode::kImplicit, cost));
+    exec::ExecConfig ecfg = bench.config(exec::ExecMode::kImplicit, cost);
+    // The study compares replay against plain indexing, so each leg
+    // pins the flag regardless of --replay on the command line.
+    ecfg.trace_replay = replay;
+    exec::PreparedRun run = exec::prepare(rt, app.program, ecfg);
     const auto begin = std::chrono::steady_clock::now();
     StudyRun out{run.run(), 0};
     out.host_seconds =
@@ -100,11 +104,11 @@ void dependence_study(bench::Bench& bench,
     return out;
   };
   std::fprintf(stderr, "  [dependence study] %u nodes...\n", nodes);
-  StudyRun linear = run_one(true);
-  StudyRun indexed = run_one(false);
+  StudyRun linear = run_one(true, false, 4);
+  StudyRun indexed = run_one(false, false, 4);
   linear.res.analysis.host_seconds = linear.host_seconds;
   indexed.res.analysis.host_seconds = indexed.host_seconds;
-  const bool same = linear.res.makespan_ns == indexed.res.makespan_ns;
+  bool same = linear.res.makespan_ns == indexed.res.makespan_ns;
   const double drop =
       indexed.res.analysis.dep_pairs_tested > 0
           ? static_cast<double>(linear.res.analysis.dep_pairs_tested) /
@@ -132,6 +136,70 @@ void dependence_study(bench::Bench& bench,
     s.points.push_back(pt);
     analysis_report.series.push_back(std::move(s));
   }
+
+  // Replay study: indexed vs indexed+replay at two step counts. The
+  // per-step difference isolates the steady state (capture warmup and
+  // the init launches cancel out), which is where iterative apps spend
+  // their time and where replay should drive pairs_tested to zero.
+  const uint64_t lo = 6, hi = 22;
+  std::fprintf(stderr, "  [replay study] %u nodes...\n", nodes);
+  StudyRun idx_lo = run_one(false, false, lo);
+  StudyRun idx_hi = run_one(false, false, hi);
+  StudyRun rep_lo = run_one(false, true, lo);
+  StudyRun rep_hi = run_one(false, true, hi);
+  same = same && idx_lo.res.makespan_ns == rep_lo.res.makespan_ns &&
+         idx_hi.res.makespan_ns == rep_hi.res.makespan_ns;
+  auto steady = [&](const StudyRun& l, const StudyRun& h) {
+    return static_cast<double>(h.res.analysis.dep_pairs_tested -
+                               l.res.analysis.dep_pairs_tested) /
+           static_cast<double>(hi - lo);
+  };
+  const double idx_rate = steady(idx_lo, idx_hi);
+  const double rep_rate = steady(rep_lo, rep_hi);
+  auto metric = [](const StudyRun& r, const char* key) {
+    auto it = r.res.metrics.find(key);
+    return it == r.res.metrics.end() ? 0.0 : it->second;
+  };
+  std::printf(
+      "replay study [implicit stencil, %u nodes, steps %llu vs %llu]\n"
+      "  steady-state pairs_tested/step: indexed %.0f, replay %.0f",
+      nodes, static_cast<unsigned long long>(lo),
+      static_cast<unsigned long long>(hi), idx_rate, rep_rate);
+  if (rep_rate > 0) {
+    std::printf(" (%.1fx reduction)\n", idx_rate / rep_rate);
+  } else {
+    std::printf(" (fully replayed)\n");
+  }
+  std::printf(
+      "  host seconds (%llu steps): indexed %.3f, replay %.3f\n"
+      "  replay counters: captures=%.0f replays=%.0f invalidations=%.0f "
+      "pairs_skipped=%.0f\n"
+      "  makespans %s\n\n",
+      static_cast<unsigned long long>(hi), idx_hi.host_seconds,
+      rep_hi.host_seconds, metric(rep_hi, "exec.replay.captures"),
+      metric(rep_hi, "exec.replay.replays"),
+      metric(rep_hi, "exec.replay.invalidations"),
+      metric(rep_hi, "exec.replay.pairs_skipped"),
+      same ? "identical" : "DIFFER");
+  for (const auto* r : {&idx_hi, &rep_hi}) {
+    exec::ScalingSeries s;
+    s.name = r == &idx_hi ? "replay-study indexed" : "replay-study replay";
+    exec::ScalingPoint pt;
+    pt.nodes = nodes;
+    pt.seconds = exec::to_seconds(r->res.makespan_ns);
+    pt.work_per_node = kPaperPointsPerNode;
+    pt.iterations = hi;
+    pt.has_analysis = true;
+    pt.analysis = r->res.analysis;
+    pt.analysis.host_seconds = r->host_seconds;
+    s.points.push_back(pt);
+    analysis_report.series.push_back(std::move(s));
+  }
+  if (!same) {
+    std::fprintf(stderr,
+                 "FAIL: dependence/replay study makespans diverged\n");
+  }
+  return same;
 }
 
 double run_mpi(uint32_t nodes, bool openmp) {
@@ -162,8 +230,9 @@ int main(int argc, char** argv) {
       "Figure 6: Stencil weak scaling (40k^2 points/node)",
       "10^6 points/s per node", 1e6, kPaperPointsPerNode, 1.0, specs);
   std::printf("%s\n", report.to_table().c_str());
-  dependence_study(bench, report);
+  const bool study_ok = dependence_study(bench, report);
   bench.write_analysis_json(report);
   bench.write_metrics_json(report);
-  return bench.finish();
+  const int rc = bench.finish();
+  return rc != 0 ? rc : (study_ok ? 0 : 1);
 }

@@ -164,6 +164,10 @@ struct BenchOptions {
   // simulation backend with <n> host threads. 0 (default) keeps the
   // sequential reference loop. Any n produces bit-identical results.
   int64_t workers = 0;
+  // --replay: capture & replay steady-state dependence-analysis traces
+  // (ExecConfig::trace_replay). Only engages for implicit runs that
+  // track dependences; virtual results are bit-identical either way.
+  bool replay = false;
 
   // Default artifact names carry the app name so several benches run
   // from one directory (CI) never clobber each other's output.
@@ -184,6 +188,9 @@ struct BenchOptions {
               });
     flags.add_flag("check", "run the happens-before race checker",
                    &check);
+    flags.add_flag("replay",
+                   "capture & replay steady-state dependence traces",
+                   &replay);
     flags.add_int("workers", "<n>",
                   "simulation worker threads for SPMD runs (0 = sequential)",
                   &workers);
@@ -254,6 +261,7 @@ class Bench {
     if (mode == exec::ExecMode::kSpmd && options_.workers > 0) {
       cfg.workers = static_cast<uint32_t>(options_.workers);
     }
+    cfg.trace_replay = options_.replay;
     return cfg;
   }
 

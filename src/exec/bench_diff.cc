@@ -88,9 +88,26 @@ void gate_metric(const std::string& where, const std::string& metric,
   }
 }
 
+// Host times are wall-clock seconds: a negative value is the historic
+// "unmeasured" sentinel (now serialized as null) and must never be
+// compared as a measurement — treat it as a structural error.
+void check_host_seconds(const std::string& where, const char* which,
+                        const support::JsonValue& point, DiffResult& out) {
+  const support::JsonValue* an = point.get("analysis");
+  if (an == nullptr || !an->is_object()) return;
+  const support::JsonValue* hs = an->get("host_seconds");
+  if (hs != nullptr && hs->is_number() && hs->num < 0) {
+    out.errors.push_back(where + ": " + which +
+                         " has negative host_seconds (" + fmt(hs->num) +
+                         "): unmeasured sentinel leaked into the report");
+  }
+}
+
 void compare_point(const std::string& where, const support::JsonValue& base,
                    const support::JsonValue& cur, const DiffOptions& options,
                    DiffResult& out) {
+  check_host_seconds(where, "baseline", base, out);
+  check_host_seconds(where, "current", cur, out);
   const support::JsonValue* bm = base.get("makespan_ns");
   const support::JsonValue* cm = cur.get("makespan_ns");
   if (bm != nullptr && bm->is_number()) {
@@ -115,6 +132,15 @@ void compare_point(const std::string& where, const support::JsonValue& base,
     if (cv == nullptr || !cv->is_number()) {
       out.errors.push_back(where + ": metric \"" + key +
                            "\" missing from current run");
+      continue;
+    }
+    if (value.num < 0 || cv->num < 0) {
+      // Every gated quantity is a count or a duration; a negative value
+      // is an unmeasured sentinel or corruption, and a relative
+      // threshold on it is meaningless.
+      out.errors.push_back(where + ": metric \"" + key +
+                           "\" is negative (base=" + fmt(value.num) +
+                           " cur=" + fmt(cv->num) + "): refusing to gate");
       continue;
     }
     gate_metric(where, key, value.num, cv->num, pct, options.zero_abs_eps,

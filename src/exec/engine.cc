@@ -6,9 +6,11 @@
 #include <deque>
 #include <mutex>
 
+#include "exec/trace_replay.h"
 #include "passes/shard_creation.h"
 #include "rt/intersect.h"
 #include "support/check.h"
+#include "support/hash.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -35,7 +37,16 @@ struct Engine::Impl {
         mutant_(config.check_mutate),
         m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
         m_barrier_arrivals_(rt.metrics().counter("rt.barrier.arrivals")),
-        m_collective_rounds_(rt.metrics().counter("rt.collective.rounds")) {}
+        m_collective_rounds_(rt.metrics().counter("rt.collective.rounds")) {
+    // Trace replay only makes sense where dependence analysis runs at
+    // all; everywhere else the flag is an inert no-op (the SPMD legs of
+    // the equivalence suites assert exactly that).
+    if (config.trace_replay && mode_ == ExecMode::kImplicit &&
+        cost_.track_dependences) {
+      replay_ = std::make_unique<TraceReplay>(
+          rt_.deps(), rt_.forest(), config.replay_invalidate_every);
+    }
+  }
 
   ~Impl() {
     // If enable_trace() attached our own tracer to the simulator, detach
@@ -406,6 +417,13 @@ struct Engine::Impl {
     m.counter("rt.dep.index_queries").set(deps.index_queries());
     m.counter("rt.dep.index_rebuilds").set(deps.index_rebuilds());
 
+    if (replay_ != nullptr) {
+      m.counter("exec.replay.captures").set(replay_->captures());
+      m.counter("exec.replay.replays").set(replay_->replays());
+      m.counter("exec.replay.invalidations").set(replay_->invalidations());
+      m.counter("exec.replay.pairs_skipped").set(replay_->pairs_skipped());
+    }
+
     forest().export_metrics(m);
     m.counter("rt.isect_cache.hits").set(isect_cache_.hits());
     m.counter("rt.isect_cache.misses").set(isect_cache_.misses());
@@ -484,6 +502,28 @@ struct Engine::Impl {
   std::map<uint32_t, uint64_t> proc_rr_;  // per-node round-robin counter
   uint64_t op_id_ = 0;
 
+  // Steady-state trace capture & replay (ExecConfig::trace_replay);
+  // null unless implicit mode with dependence tracking. All dependence
+  // records route through record_dep so the recorder sees the full
+  // launch stream.
+  std::unique_ptr<TraceReplay> replay_;
+
+  // Fingerprint tags: which kind of requirement a record represents.
+  static constexpr uint64_t kFpTask = 1;
+  static constexpr uint64_t kFpCopySrc = 2;
+  static constexpr uint64_t kFpCopyDst = 3;
+
+  void record_dep(uint64_t tag, uint64_t extra, const rt::Requirement& req,
+                  sim::Event completion, std::vector<sim::Event>& pre) {
+    if (replay_ != nullptr) {
+      replay_->record(requirement_fingerprint(tag, extra, req), op_id_, req,
+                      completion, pre);
+      return;
+    }
+    auto deps = rt_.deps().record(op_id_, req, completion);
+    pre.insert(pre.end(), deps.begin(), deps.end());
+  }
+
   // Quiescence tracking: every issued operation must complete by the end
   // of the run; a nonzero count at drain means an event cycle (a
   // transformation or executor bug), which must fail loudly. The
@@ -539,10 +579,13 @@ struct Engine::Impl {
     }
     switch (s.kind) {
       case ir::StmtKind::kForTime:
+        if (replay_ != nullptr) replay_->enter_loop(op_id_);
         for (uint64_t t = 0; t < s.trip_count; ++t) {
+          if (replay_ != nullptr) replay_->begin_iteration();
           for (Ctx& c : ctxs) charge(c, cost_.loop_overhead_ns, "loop");
           exec_body(s.body, ctxs, num_shards);
         }
+        if (replay_ != nullptr) replay_->exit_loop();
         return;
       case ir::StmtKind::kIndexLaunch:
         exec_launch(s, ctxs, num_shards);
@@ -692,8 +735,9 @@ struct Engine::Impl {
       if (mode_ == ExecMode::kImplicit && cost_.track_dependences) {
         const uint64_t before = rt_.deps().pairs_scanned();
         rt::Requirement req{insts[k]->region, a.privilege, a.redop, a.fields};
-        auto deps = rt_.deps().record(op_id_, req, done.event());
-        pre.insert(pre.end(), deps.begin(), deps.end());
+        record_dep(kFpTask,
+                   support::pack_pair32(s.task, static_cast<uint32_t>(k)),
+                   req, done.event(), pre);
         issue_ns += cost_.dep_pair_ns *
                     static_cast<double>(rt_.deps().pairs_scanned() - before);
       }
@@ -1073,14 +1117,14 @@ struct Engine::Impl {
       sim::UserEvent completion(sim());
       const uint64_t before = rt_.deps().pairs_scanned();
       ++op_id_;
+      const uint64_t pair_key = support::pack_pair32(
+          static_cast<uint32_t>(pi.i), static_cast<uint32_t>(pi.j));
       rt::Requirement rr{src_logical, rt::Privilege::kReadOnly,
                          rt::ReduceOp::kSum, req.fields};
-      auto d1 = rt_.deps().record(op_id_, rr, completion.event());
+      record_dep(kFpCopySrc, pair_key, rr, completion.event(), pre);
       rt::Requirement wr{dst_logical, rt::Privilege::kReadWrite,
                          rt::ReduceOp::kSum, req.fields};
-      auto d2 = rt_.deps().record(op_id_, wr, completion.event());
-      pre.insert(pre.end(), d1.begin(), d1.end());
-      pre.insert(pre.end(), d2.begin(), d2.end());
+      record_dep(kFpCopyDst, pair_key, wr, completion.event(), pre);
       issue_ns += cost_.dep_pair_ns *
                   static_cast<double>(rt_.deps().pairs_scanned() - before);
       sim::Event issued = charge(ctx, issue_ns, "issue:copy");
@@ -1499,6 +1543,23 @@ Engine::Engine(rt::Runtime& rt, const ir::Program& program,
 Engine::~Engine() = default;
 
 ExecutionResult Engine::run() {
+  // The dependence tracker lives on the Runtime and so outlives any one
+  // engine, but op ids are per-engine (restarting at 0): without a reset
+  // a second run on the same runtime would match its fresh op ids
+  // against the first run's stale users and carry over that run's
+  // counters. Each run's analysis — and its metrics — starts clean.
+  impl_->rt_.deps().reset();
+  // The simulator clock is likewise monotone across the runtime's
+  // lifetime; the makespan is this run's elapsed virtual time, not the
+  // absolute end time (they differ only when an engine reuses a
+  // runtime that already simulated something).
+  const sim::Time run_start = impl_->sim().now();
+  // Copy/network totals also live on the runtime and accumulate across
+  // engines; the result reports this run's deltas.
+  const uint64_t copies0 = impl_->rt_.copies().copies_issued();
+  const uint64_t skipped0 = impl_->rt_.copies().copies_skipped_empty();
+  const uint64_t bytes0 = impl_->rt_.copies().bytes_moved();
+  const uint64_t messages0 = impl_->rt_.network().messages_sent();
   if (impl_->check_) {
     // Record the happens-before DAG for the whole run: merge edges at
     // unroll, trigger/dispatch causality during simulation.
@@ -1520,7 +1581,9 @@ ExecutionResult Engine::run() {
   }
   impl_->unroll();
   impl_->result_.makespan_ns =
-      workers > 0 ? impl_->sim().run_windowed(workers) : impl_->sim().run();
+      (workers > 0 ? impl_->sim().run_windowed(workers)
+                   : impl_->sim().run()) -
+      run_start;
   if (impl_->live_ops_->count != 0) {
     std::string msg = "execution did not quiesce; stuck ops:";
     int shown = 0;
@@ -1530,11 +1593,12 @@ ExecutionResult Engine::run() {
     }
     CR_CHECK_MSG(false, msg.c_str());
   }
-  impl_->result_.copies_issued = impl_->rt_.copies().copies_issued();
+  impl_->result_.copies_issued =
+      impl_->rt_.copies().copies_issued() - copies0;
   impl_->result_.copies_skipped +=
-      impl_->rt_.copies().copies_skipped_empty();
-  impl_->result_.bytes_moved = impl_->rt_.copies().bytes_moved();
-  impl_->result_.messages = impl_->rt_.network().messages_sent();
+      impl_->rt_.copies().copies_skipped_empty() - skipped0;
+  impl_->result_.bytes_moved = impl_->rt_.copies().bytes_moved() - bytes0;
+  impl_->result_.messages = impl_->rt_.network().messages_sent() - messages0;
   impl_->result_.dep_pairs_tested = impl_->rt_.deps().pairs_tested();
   impl_->result_.control_busy_ns =
       impl_->rt_.machine()

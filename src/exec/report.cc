@@ -83,6 +83,11 @@ std::string AnalysisStats::to_json() const {
   if (host_seconds >= 0) {
     os << ",\"host_seconds\":" << std::setprecision(6) << std::fixed
        << host_seconds;
+  } else {
+    // Unmeasured sentinel: emit an explicit null rather than leaking
+    // -1.0 into the JSON — consumers (bench_diff) reject negative host
+    // times as structurally invalid.
+    os << ",\"host_seconds\":null";
   }
   os << "}";
   return os.str();

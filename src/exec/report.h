@@ -51,7 +51,9 @@ struct AnalysisStats {
   uint64_t isect_cache_misses = 0;
 
   // Host wall-clock of the run, seconds; < 0 when not measured (set by
-  // the bench harness under --selftime, not by the engine).
+  // the bench harness under --selftime, not by the engine). The
+  // sentinel never reaches serialized reports: to_json() emits null for
+  // an unmeasured value, and bench_diff rejects negative host times.
   double host_seconds = -1.0;
 
   // Prefilter effectiveness: fraction of exhaustive pairs skipped.

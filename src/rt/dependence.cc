@@ -8,7 +8,8 @@ namespace cr::rt {
 
 std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
                                                   const Requirement& req,
-                                                  sim::Event completion) {
+                                                  sim::Event completion,
+                                                  Capture* capture) {
   std::vector<sim::Event> preconditions;
   const RegionNode& node = forest_->region(req.region);
   const support::IntervalSet& pts = node.ispace.points();
@@ -37,6 +38,8 @@ std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
       hits_.clear();
       st.tree.query(query, hits_);
       cand_.assign(hits_.begin(), hits_.end());
+      st.tail_touched +=
+          static_cast<uint64_t>(st.slots.size() - st.indexed_end);
       for (size_t i = st.indexed_end; i < st.slots.size(); ++i) {
         const support::Interval& b = st.slots[i].bounds;
         if (b.lo < query.hi && query.lo < b.hi) {
@@ -64,6 +67,7 @@ std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
       if (std::find(preconditions.begin(), preconditions.end(),
                     u.completion) == preconditions.end()) {
         preconditions.push_back(u.completion);
+        if (capture != nullptr) capture->dep_ops.push_back(u.op_id);
       }
       // Epoch pruning: a writer that covers a prior user transitively
       // orders every later conflicting operation, so the prior user can
@@ -74,38 +78,101 @@ std::vector<sim::Event> DependenceTracker::record(uint64_t op_id,
         u.alive = false;
         --st.alive;
         ++st.dead;
+        if (capture != nullptr) {
+          capture->prunes.push_back(
+              {f, u.op_id, u.region, u.privilege, u.redop});
+        }
       }
     }
 
-    User nu;
-    nu.op_id = op_id;
-    nu.privilege = req.privilege;
-    nu.redop = req.redop;
-    nu.region = req.region;
-    nu.completion = completion;
-    nu.bounds = query;
-    st.slots.push_back(std::move(nu));
-    ++st.alive;
-    if (st.last_op == op_id) {
-      ++st.last_op_live;
-    } else {
-      st.last_op = op_id;
-      st.last_op_live = 1;
-    }
+    register_user(st, op_id, req, completion, query);
     maybe_rebuild(st);
   }
   return preconditions;
+}
+
+uint64_t DependenceTracker::replay(uint64_t op_id, const Requirement& req,
+                                   sim::Event completion,
+                                   const std::vector<Capture::Prune>& prunes,
+                                   uint64_t found) {
+  const RegionNode& node = forest_->region(req.region);
+  const support::IntervalSet& pts = node.ispace.points();
+  support::Interval query{0, 0};
+  if (!pts.empty()) query = pts.bounds();
+
+  uint64_t scanned = 0;
+  for (FieldId f : req.fields) {
+    FieldState& st = users_[{node.root, f}];
+    // The virtual-time charge mirrors record(): what the exhaustive scan
+    // would test against the live state at this point, before this
+    // call's own prunes take effect.
+    const uint64_t self_live = st.last_op == op_id ? st.last_op_live : 0;
+    scanned += st.alive - self_live;
+
+    for (const Capture::Prune& p : prunes) {
+      if (p.field != f) continue;
+      bool pruned = false;
+      for (User& u : st.slots) {
+        if (u.alive && u.op_id == p.op_id && u.region == p.region &&
+            u.privilege == p.privilege && u.redop == p.redop) {
+          u.alive = false;
+          --st.alive;
+          ++st.dead;
+          pruned = true;
+          break;
+        }
+      }
+      CR_CHECK_MSG(pruned, "trace replay pruned a user that is not live");
+    }
+
+    register_user(st, op_id, req, completion, query);
+    maybe_rebuild(st);
+  }
+  pairs_scanned_ += scanned;
+  dependences_found_ += found;
+  return scanned;
+}
+
+void DependenceTracker::register_user(FieldState& st, uint64_t op_id,
+                                      const Requirement& req,
+                                      sim::Event completion,
+                                      support::Interval bounds) {
+  User nu;
+  nu.op_id = op_id;
+  nu.privilege = req.privilege;
+  nu.redop = req.redop;
+  nu.region = req.region;
+  nu.completion = completion;
+  nu.bounds = bounds;
+  st.slots.push_back(std::move(nu));
+  ++st.alive;
+  if (st.last_op == op_id) {
+    ++st.last_op_live;
+  } else {
+    st.last_op = op_id;
+    st.last_op_live = 1;
+  }
 }
 
 void DependenceTracker::maybe_rebuild(FieldState& st) {
   // Staleness = users the index doesn't cover well: appends past
   // indexed_end (scanned linearly per query) plus tombstones (returned
   // by queries, then skipped). Rebuilding once staleness reaches an
-  // eighth of the live list amortizes to O(log n) per record while
-  // bounding the linear tail scan to alive/8 cheap bounds checks.
+  // eighth of the live list amortizes to O(log n) per record. That
+  // ratio alone is not a bound on tail work, though: with heavy
+  // tombstone churn `alive` stays large while a short unindexed tail is
+  // rescanned by every query, so the second trigger caps *accumulated*
+  // tail scans — once they have cost as much as one pass over the live
+  // list (the price of a rebuild), rebuilding amortizes to O(1) extra.
+  // Rebuild timing is host-side only: candidates are live slots whose
+  // bounds overlap the query either way, so pairs_tested and the
+  // dependence set are unaffected.
   const uint64_t stale =
       static_cast<uint64_t>(st.slots.size() - st.indexed_end) + st.dead;
-  if (stale <= 64 || stale * 8 < st.alive) return;
+  const bool ratio_stale = stale > 64 && stale * 8 >= st.alive;
+  const bool tail_hot = st.tail_touched > 64 && st.tail_touched >= st.alive;
+  if (!ratio_stale && !tail_hot) return;
+  st.tail_touched = 0;
   if (st.dead > 0) {
     std::erase_if(st.slots, [](const User& u) { return !u.alive; });
     st.dead = 0;

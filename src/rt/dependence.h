@@ -51,14 +51,56 @@ class DependenceTracker {
   void set_linear_scan(bool linear) { linear_ = linear; }
   bool linear_scan() const { return linear_; }
 
+  // Capture of one record() call's analysis outcome, in a form that is
+  // stable across loop iterations once the launch stream reaches steady
+  // state: predecessors and pruned users are identified by op id (plus
+  // the requirement identity for prunes), never by slot index — slot
+  // layout depends on compaction timing, which is host-side bookkeeping
+  // and not part of the replayable contract.
+  struct Capture {
+    // Deduplicated predecessor op ids, in the order their completion
+    // events entered the returned precondition vector.
+    std::vector<uint64_t> dep_ops;
+    // Users retired by epoch pruning: which op's registration of which
+    // region (with which privilege) died, and under which field. The
+    // full identity is needed because one op may register several slots
+    // in one field state (a copy's read and write requirements share the
+    // root, and a task can pass one region through several arguments).
+    struct Prune {
+      FieldId field = 0;
+      uint64_t op_id = 0;
+      RegionId region = kNoId;
+      Privilege privilege = Privilege::kReadOnly;
+      ReduceOp redop = ReduceOp::kSum;
+    };
+    std::vector<Prune> prunes;
+  };
+
   // Record an operation's use of a region; returns the completion events
   // of conflicting predecessors (deduplicated: a predecessor reached via
   // several fields appears once). `completion` is the new operation's
   // own completion event. Requirements of one operation must be recorded
   // contiguously (no interleaving with other operations), which the
-  // engine's sequential issue loop guarantees.
+  // engine's sequential issue loop guarantees. When `capture` is given
+  // it is filled with the replayable encoding of this call's outcome.
   std::vector<sim::Event> record(uint64_t op_id, const Requirement& req,
-                                 sim::Event completion);
+                                 sim::Event completion,
+                                 Capture* capture = nullptr);
+
+  // Replay a previously captured record() outcome without scanning or
+  // testing: charges pairs_scanned exactly as the exhaustive scan would
+  // (from the live state, not the capture), applies the given prunes,
+  // counts `found` dependences, and registers the new user — leaving
+  // the tracker in the same state an analyzed record() would have, so
+  // analysis can resume at any later operation. pairs_tested and the
+  // interval indexes are untouched (that is the host-time win). Returns
+  // the pairs_scanned delta so the caller can cross-check it against
+  // the captured value; a mismatch means the launch stream left steady
+  // state without a fingerprint change, which callers must treat as a
+  // hard error, not an invalidation.
+  uint64_t replay(uint64_t op_id, const Requirement& req,
+                  sim::Event completion,
+                  const std::vector<Capture::Prune>& prunes, uint64_t found);
 
   // Clear all user lists (between independent executions).
   void reset();
@@ -102,8 +144,16 @@ class DependenceTracker {
     // exhaustive scan skips such entries without counting them).
     uint64_t last_op = UINT64_MAX;
     uint64_t last_op_live = 0;
+    // Accumulated linear tail-scan work since the last rebuild. The
+    // staleness ratio alone is not enough to bound it: heavy tombstone
+    // churn keeps `alive` large while the unindexed tail is rescanned by
+    // every query, so total tail work between rebuilds can grow
+    // quadratically in the query count.
+    uint64_t tail_touched = 0;
   };
 
+  void register_user(FieldState& st, uint64_t op_id, const Requirement& req,
+                     sim::Event completion, support::Interval bounds);
   void maybe_rebuild(FieldState& st);
 
   const RegionForest* forest_;

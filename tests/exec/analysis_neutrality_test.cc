@@ -22,16 +22,18 @@ struct Observed {
 };
 
 Observed run_fig2(bool spmd, bool traced, bool linear_scan,
-                  bool check = false) {
+                  bool check = false, bool replay = false,
+                  uint64_t steps = 3) {
   CostModel cost;
   cost.track_dependences = true;
   rt::Runtime rt(runtime_config(4, 4, cost, /*real_data=*/true));
   rt.deps().set_linear_scan(linear_scan);
-  testing::Fig2 fig(rt.forest(), 48, 8, 3);
+  testing::Fig2 fig(rt.forest(), 48, 8, steps);
   ExecConfig cfg;
   cfg.cost = cost;
   cfg.mode = spmd ? ExecMode::kSpmd : ExecMode::kImplicit;
   cfg.check = check;
+  cfg.trace_replay = replay;
   PreparedRun run = prepare(rt, fig.program, cfg);
   if (traced) run.engine->enable_trace();
   ExecutionResult res = run.run();
@@ -84,6 +86,34 @@ TEST(AnalysisNeutrality, CheckerInvariantImplicitAndSpmd) {
     EXPECT_EQ(got.messages, ref.messages);
     EXPECT_EQ(got.data, ref.data);
     EXPECT_EQ(got.dependences, ref.dependences);
+  }
+}
+
+// Trace replay joins the fast-path grid: with enough iterations for the
+// template to engage (implicit mode) — or as a structural no-op (SPMD)
+// — every {traced} x {indexed, linear} x {checked} combination with
+// replay on must match the fully analyzed reference bit for bit.
+TEST(AnalysisNeutrality, ReplayInvariantAcrossModes) {
+  constexpr uint64_t kSteps = 10;
+  for (const bool spmd : {false, true}) {
+    const Observed ref = run_fig2(spmd, /*traced=*/false,
+                                  /*linear_scan=*/false, /*check=*/false,
+                                  /*replay=*/false, kSteps);
+    for (const bool traced : {false, true}) {
+      for (const bool linear : {false, true}) {
+        for (const bool check : {false, true}) {
+          const Observed got =
+              run_fig2(spmd, traced, linear, check, /*replay=*/true, kSteps);
+          EXPECT_EQ(got.makespan, ref.makespan)
+              << "spmd=" << spmd << " traced=" << traced
+              << " linear=" << linear << " check=" << check;
+          EXPECT_EQ(got.bytes, ref.bytes);
+          EXPECT_EQ(got.messages, ref.messages);
+          EXPECT_EQ(got.data, ref.data);
+          EXPECT_EQ(got.dependences, ref.dependences);
+        }
+      }
+    }
   }
 }
 

@@ -154,6 +154,40 @@ TEST(BenchDiff, ZeroBaselineEpsilonIsConfigurable) {
   EXPECT_FALSE(bench_diff(base, cur, opt).ok());
 }
 
+TEST(BenchDiff, NegativeMetricIsAnError) {
+  // A negative value in a gated metric is an unmeasured sentinel or
+  // corruption; relative thresholds on it are meaningless and must not
+  // silently pass (cur > base * 1.05 is trivially false for base = -1).
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"m":-1}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"m":-1}}]}]})";
+  DiffOptions opt;
+  opt.all_pct = 5.0;
+  const DiffResult r = bench_diff(base, cur, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("negative"), std::string::npos);
+}
+
+TEST(BenchDiff, NegativeHostSecondsIsAnError) {
+  // The historic -1.0 "unmeasured" sentinel must never be treated as a
+  // valid host time, on either side of the diff.
+  const char* good = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"analysis":{"host_seconds":0.5}}]}]})";
+  const char* bad = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"analysis":{"host_seconds":-1.0}}]}]})";
+  EXPECT_TRUE(bench_diff(good, good, DiffOptions{}).ok());
+  const DiffResult r = bench_diff(good, bad, DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("host_seconds"), std::string::npos);
+  // ...and a null host time (the unmeasured serialization) is fine.
+  const char* null_hs = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"analysis":{"host_seconds":null}}]}]})";
+  EXPECT_TRUE(bench_diff(good, null_hs, DiffOptions{}).ok());
+}
+
 TEST(BenchDiff, MalformedJsonIsAnError) {
   const DiffResult r = bench_diff("{not json", kBaseline, DiffOptions{});
   EXPECT_FALSE(r.ok());

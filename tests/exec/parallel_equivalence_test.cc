@@ -59,7 +59,8 @@ ir::Program build_app(rt::Runtime& rt, const std::string& app,
   return apps::miniaero::build(rt, cfg).program;
 }
 
-ExecutionResult run_app(const std::string& app, uint32_t workers) {
+ExecutionResult run_app(const std::string& app, uint32_t workers,
+                        bool replay = false) {
   CostModel cost;
   cost.track_dependences = false;
   const uint32_t nodes = 4;
@@ -71,6 +72,7 @@ ExecutionResult run_app(const std::string& app, uint32_t workers) {
   cfg.mode = ExecMode::kSpmd;
   cfg.workers = workers;
   cfg.check = true;
+  cfg.trace_replay = replay;
   PreparedRun run = prepare(rt, std::move(program), cfg);
   return run.run();
 }
@@ -115,6 +117,28 @@ TEST(ParallelEquivalence, Stencil) { expect_bit_identical("stencil"); }
 TEST(ParallelEquivalence, Circuit) { expect_bit_identical("circuit"); }
 TEST(ParallelEquivalence, Pennant) { expect_bit_identical("pennant"); }
 TEST(ParallelEquivalence, MiniAero) { expect_bit_identical("miniaero"); }
+
+// ExecConfig::trace_replay must be a structural no-op in SPMD mode
+// (dependence analysis does not run there): with the flag on, every
+// worker count still matches the replay-off single-worker reference in
+// full — including the metrics snapshot, which must not grow
+// exec.replay.* keys.
+TEST(ParallelEquivalence, ReplayFlagIsInertInSpmd) {
+  for (const std::string app : {"stencil", "circuit"}) {
+    const ExecutionResult ref = run_app(app, 1, /*replay=*/false);
+    ASSERT_NE(ref.check, nullptr);
+    for (const uint32_t w : worker_counts()) {
+      const ExecutionResult res = run_app(app, w, /*replay=*/true);
+      EXPECT_EQ(res.makespan_ns, ref.makespan_ns) << app << " workers=" << w;
+      EXPECT_EQ(res.metrics, ref.metrics) << app << " workers=" << w;
+      ASSERT_NE(res.check, nullptr) << app << " workers=" << w;
+      EXPECT_EQ(res.check->ok(), ref.check->ok()) << app << " workers=" << w;
+      EXPECT_EQ(res.check->stats.pairs_checked,
+                ref.check->stats.pairs_checked)
+          << app << " workers=" << w;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cr::exec
