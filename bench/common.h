@@ -164,6 +164,14 @@ struct BenchOptions {
   // simulation backend with <n> host threads. 0 (default) keeps the
   // sequential reference loop. Any n produces bit-identical results.
   int64_t workers = 0;
+  // --pin: topology-pin the windowed backend's host threads to distinct
+  // physical cores (ExecConfig::pin_workers). Host-side only.
+  bool pin = false;
+  // --global-window: run the windowed backend with the global-window
+  // reference policy instead of adaptive per-lane lookahead
+  // (ExecConfig::adaptive_window = false). Equivalence-testing knob;
+  // virtual results are bit-identical either way.
+  bool global_window = false;
   // --replay: capture & replay steady-state dependence-analysis traces
   // (ExecConfig::trace_replay). Only engages for implicit runs that
   // track dependences; virtual results are bit-identical either way.
@@ -194,6 +202,13 @@ struct BenchOptions {
     flags.add_int("workers", "<n>",
                   "simulation worker threads for SPMD runs (0 = sequential)",
                   &workers);
+    flags.add_flag("pin",
+                   "pin simulation workers to distinct physical cores",
+                   &pin);
+    flags.add_flag("global-window",
+                   "use the global-window reference policy (no adaptive "
+                   "per-lane lookahead)",
+                   &global_window);
     flags.add("check-mutate", "=<sync-id>",
               "delete sync op <sync-id>; expect the checker to race",
               [this](const std::string& value, bool has_value) {
@@ -260,7 +275,9 @@ class Bench {
     }
     if (mode == exec::ExecMode::kSpmd && options_.workers > 0) {
       cfg.workers = static_cast<uint32_t>(options_.workers);
+      cfg.pin_workers = options_.pin;
     }
+    cfg.adaptive_window = !options_.global_window;
     cfg.trace_replay = options_.replay;
     return cfg;
   }

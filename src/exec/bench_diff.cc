@@ -123,7 +123,14 @@ void compare_point(const std::string& where, const support::JsonValue& base,
   const support::JsonValue* cmet = cur.get("metrics");
   for (const auto& [key, value] : bmet->obj) {
     if (!value.is_number()) continue;
-    double pct = options.all_pct;
+    // Prefix routing: "host." keys are wall-clock measurements gated
+    // only by host_pct (virtual-time thresholds would misread their
+    // noise); "info." keys are context and never gate. Explicit
+    // metric_pct entries still override either.
+    const bool is_host = key.rfind("host.", 0) == 0;
+    const bool is_info = key.rfind("info.", 0) == 0;
+    double pct = is_info ? -1 : (is_host ? options.host_pct
+                                         : options.all_pct);
     auto it = options.metric_pct.find(key);
     if (it != options.metric_pct.end()) pct = it->second;
     if (pct < 0) continue;  // not gated

@@ -21,7 +21,16 @@ struct DiffOptions {
   double makespan_pct = 5.0;
   // When >= 0, every metric in the point's snapshot is gated at this
   // threshold; when < 0 only makespan_ns and metric_pct entries gate.
+  // Metrics with a "host." or "info." prefix are never covered by
+  // all_pct (see host_pct below).
   double all_pct = -1;
+  // Host-time gate: metrics whose key starts with "host." are measured
+  // wall-clock quantities (seconds, slowdown ratios) from
+  // tools/parallel_speedup — real but noisy, so they get their own
+  // threshold, typically much looser than the virtual-time gates. < 0
+  // (the default) leaves them ungated. "info."-prefixed keys (rates,
+  // rep counts) are never gated: they are context, not costs.
+  double host_pct = -1;
   // Per-metric threshold overrides, by exact registry key.
   std::map<std::string, double> metric_pct;
   // Absolute fallback for zero baselines. A relative threshold is

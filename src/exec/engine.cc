@@ -12,6 +12,7 @@
 #include "support/check.h"
 #include "support/hash.h"
 #include "support/metrics.h"
+#include "support/topology.h"
 #include "support/trace.h"
 
 namespace cr::exec {
@@ -33,6 +34,8 @@ struct Engine::Impl {
         cost_(config.cost),
         mode_(config.mode),
         workers_(config.workers),
+        adaptive_window_(config.adaptive_window),
+        pin_workers_(config.pin_workers),
         check_(config.check),
         mutant_(config.check_mutate),
         m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
@@ -399,6 +402,7 @@ struct Engine::Impl {
 
     m.counter("sim.events_processed").set(sim().events_processed());
     m.gauge("sim.queue.max_depth").set(sim().max_queue_depth());
+    m.counter("sim.windows").set(sim().windows());
     m.counter("sim.net.messages").set(rt_.network().messages_sent());
     m.counter("sim.net.bytes").set(rt_.network().bytes_sent());
     support::Histogram& busy = m.histogram("sim.proc.busy_ns");
@@ -1413,6 +1417,8 @@ struct Engine::Impl {
   CostModel cost_;
   ExecMode mode_;
   const uint32_t workers_;      // 0 = sequential loop, N = windowed backend
+  const bool adaptive_window_;  // per-lane horizons vs global reference
+  const bool pin_workers_;      // topology-pin the backend's host threads
   const bool check_;            // record accesses + HB graph, run checker
   const ir::SyncId mutant_;     // sync op deleted by fault injection
   // Cached registry counters bumped during unroll (avoids the by-name
@@ -1577,6 +1583,12 @@ ExecutionResult Engine::run() {
     if (!s.windowed()) {
       s.begin_windowed(impl_->rt_.machine().nodes(),
                        impl_->rt_.network().min_cross_node_delay());
+    }
+    s.set_adaptive_window(impl_->adaptive_window_);
+    if (impl_->pin_workers_) {
+      // Host-side placement only (virtual time is unaffected): spread
+      // the backend's threads across distinct physical cores.
+      s.set_worker_cpus(support::CpuTopology::probe().plan(workers));
     }
   }
   impl_->unroll();

@@ -30,6 +30,17 @@ struct ExecConfig {
   // multi-worker backend".
   uint32_t workers = 0;
 
+  // Window policy for the multi-worker backend: true (default) = adaptive
+  // per-lane lookahead horizons; false = the global-window reference
+  // policy (PR 5 behavior), kept for equivalence testing. Both produce
+  // bit-identical virtual timelines; adaptive runs far fewer windows.
+  bool adaptive_window = true;
+
+  // Pin the backend's host threads to distinct physical cores (probed
+  // via support/topology.h; no-op where unsupported). Host-side only:
+  // never affects virtual time.
+  bool pin_workers = false;
+
   // Steady-state launch-stream trace capture & replay (see
   // exec/trace_replay.h). Only engages under kImplicit with
   // cost.track_dependences — elsewhere it is a structural no-op. Replay

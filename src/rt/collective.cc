@@ -39,6 +39,9 @@ void DynamicCollective::maybe_wire(Generation& g) {
   sim::Event all = sim::Event::merge_remote(*sim_, g.arrivals);
   g.gather_uid = all.uid();
   const sim::Time latency = 2 * net_->tree_latency(participants_);
+  // Adaptive-window contract: node-side waiters see the reduced value
+  // no earlier than `latency` after the gather completes.
+  sim_->note_global_influence_floor(latency);
   Generation* gp = &g;
   ReduceOp op = op_;
   all.subscribe([this, gp, op, latency](sim::Time now) {

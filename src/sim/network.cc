@@ -46,6 +46,11 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
                    : nullptr;
   const uint64_t pre_uid = precondition.uid();
   const uint64_t delivered_uid = delivered.event().uid();
+  // Arm before subscribing: the subscription may run inline when the
+  // precondition has already triggered, and the fired note must never
+  // precede its arm. While armed, the source lane's queue front bounds
+  // its outbound influence (the adaptive window input).
+  if (src != dst) sim_->note_cross_send_armed(src);
   precondition.subscribe([this, src, dst, bytes, work, stage, delivered,
                           pre_uid, delivered_uid](Time ready) mutable {
     messages_.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +99,10 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
       if (work) (*work)();
       delivered.trigger();
     });
+    // Disarm only after the delivery is enqueued: from this point the
+    // message's influence is visible to the window computation as a
+    // pending destination entry instead of an armed source send.
+    if (src != dst) sim_->note_cross_send_fired(src);
   });
   return delivered.event();
 }

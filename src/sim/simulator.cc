@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/topology.h"
 #include "support/trace.h"
 
 namespace cr::sim {
@@ -13,13 +14,18 @@ namespace cr::sim {
 namespace {
 constexpr Time kInfTime = std::numeric_limits<Time>::max();
 
-// Brief spin before yielding: the windowed backend must behave when the
-// host has fewer cores than workers (oversubscribed CI runners).
-void relax_wait(uint32_t& spins) {
-  if (++spins < 256) return;
-  spins = 0;
-  std::this_thread::yield();
+// t + dt without wrapping past the infinite horizon.
+Time sat_add(Time t, Time dt) {
+  return t > kInfTime - dt ? kInfTime : t + dt;
 }
+
+// Min-heap ordering for (front, lane) pairs.
+struct FrontLater {
+  bool operator()(const std::pair<Time, uint32_t>& a,
+                  const std::pair<Time, uint32_t>& b) const {
+    return a.first > b.first;
+  }
+};
 }  // namespace
 
 thread_local Simulator::ExecCtx Simulator::tls_;
@@ -29,7 +35,7 @@ Simulator::~Simulator() {
   // failures abort, so this is belt-and-braces for tests).
   if (!threads_.empty()) {
     quit_.store(true, std::memory_order_release);
-    epoch_.fetch_add(1, std::memory_order_release);
+    barrier_.release(++epoch_seq_);
     for (std::thread& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -116,9 +122,47 @@ void Simulator::schedule_merge_completion(Time t, uint64_t merge_uid,
     schedule_at(t, std::move(fn));
     return;
   }
+  // The adaptive policy's feedback cap relies on every merge wirer
+  // having declared how soon its completion can touch node state; a
+  // completion from an undeclared wirer could slip inside a lane's
+  // already-executed horizon.
+  CR_CHECK_MSG(!adaptive_ || global_floor_ > 0,
+               "merge completion scheduled with no registered "
+               "global-influence floor (adaptive windows)");
   // Key by the merge's unroll-assigned uid: whichever host thread
   // happens to complete the countdown, the entry is identical.
   push_windowed(t, kNoAffinity, kMergeCreator, merge_uid, std::move(fn));
+}
+
+void Simulator::note_cross_send_armed(uint32_t src) {
+  if (!windowed_) return;
+  CR_CHECK(src < nodes_);
+  armed_cross_[src].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Simulator::note_cross_send_fired(uint32_t src) {
+  if (!windowed_) return;
+  CR_CHECK(src < nodes_);
+  const uint64_t prev =
+      armed_cross_[src].fetch_sub(1, std::memory_order_relaxed);
+  CR_CHECK_MSG(prev > 0, "cross-send fired without being armed");
+}
+
+void Simulator::note_global_influence_floor(Time delay) {
+  if (!windowed_) return;
+  // A zero floor (single-participant tree) still means "next serial
+  // phase at the earliest"; clamp to 1 so it stays a valid registration
+  // and the lookahead clamp in compute_window_ends takes over.
+  const Time d = std::max<Time>(delay, 1);
+  global_floor_ = global_floor_ == 0 ? d : std::min(global_floor_, d);
+}
+
+void Simulator::note_lane_front(uint32_t n, Time t) {
+  if (t < front_hint_[n]) {
+    front_hint_[n] = t;
+    front_heap_.emplace_back(t, n);
+    std::push_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
+  }
 }
 
 void Simulator::push_windowed(Time t, uint32_t target, uint32_t creator,
@@ -126,35 +170,69 @@ void Simulator::push_windowed(Time t, uint32_t target, uint32_t creator,
   Entry e{t, cseq, current_cause(), creator, std::move(fn)};
   const bool from_worker =
       running_ && in_context() && tls_.affinity != kNoAffinity;
+  pending_windowed_.fetch_add(1, std::memory_order_relaxed);
   if (!from_worker) {
     // Unroll-time wiring or a serial phase: workers are parked, push
-    // straight into the target partition.
+    // straight into the target partition (and keep the front heap's
+    // lower bound fresh — only serial contexts may lower a lane front).
     if (target == kNoAffinity) {
       global_q_.push(std::move(e));
     } else {
+      note_lane_front(target, t);
       node_q_[target].push(std::move(e));
     }
     return;
   }
   if (target == tls_.affinity) {
+    // Own lane: t >= tls_.now >= the lane's front at window start, so
+    // the heap's lower-bound invariant holds without touching it.
     node_q_[target].push(std::move(e));
     return;
   }
-  // Cross-affinity from a worker: mailbox, drained at the next barrier.
-  // Node-to-node influence must respect the conservative lookahead —
-  // anything scheduled inside the current window would have been missed.
-  if (target != kNoAffinity && t < win_end_) {
+  // Cross-affinity from a worker: staged in the worker's outbox, flushed
+  // to the destination mailboxes at the end of this window share and
+  // drained at the barrier. Node-to-node influence must respect the
+  // destination's conservative window — anything scheduled inside it
+  // would have been missed.
+  if (target != kNoAffinity && t < win_end_lane_[target]) {
     const std::string msg =
         "cross-node schedule inside the lookahead window (from node " +
         std::to_string(tls_.affinity) + " to node " + std::to_string(target) +
         ", t=" + std::to_string(t) + ", window end=" +
-        std::to_string(win_end_) + ", cause uid=" + std::to_string(e.cause) +
-        ")";
-    support::check_failed("t >= win_end_", __FILE__, __LINE__, msg.c_str());
+        std::to_string(win_end_lane_[target]) + ", cause uid=" +
+        std::to_string(e.cause) + ")";
+    support::check_failed("t >= win_end_lane_[target]", __FILE__, __LINE__,
+                          msg.c_str());
   }
-  Mailbox& box = inbox_[target == kNoAffinity ? nodes_ : target];
-  std::lock_guard<std::mutex> lock(box.mu);
-  box.items.push_back(std::move(e));
+  outbox_[tls_.worker].staged.emplace_back(
+      target == kNoAffinity ? nodes_ : target, std::move(e));
+}
+
+void Simulator::flush_outbox(uint32_t worker) {
+  auto& staged = outbox_[worker].staged;
+  if (staged.empty()) return;
+  // One lock round-trip per destination lane, not per entry. Insertion
+  // order within a mailbox is irrelevant: the (time, creator, seq) key
+  // is a total order, so the destination heap ordering is unaffected.
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const std::pair<uint32_t, Entry>& a,
+                      const std::pair<uint32_t, Entry>& b) {
+                     return a.first < b.first;
+                   });
+  size_t i = 0;
+  while (i < staged.size()) {
+    const uint32_t lane = staged[i].first;
+    size_t j = i;
+    while (j < staged.size() && staged[j].first == lane) ++j;
+    Mailbox& box = inbox_[lane];
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (size_t k = i; k < j; ++k) {
+      box.items.push_back(std::move(staged[k].second));
+    }
+    box.nonempty.store(true, std::memory_order_release);
+    i = j;
+  }
+  staged.clear();
 }
 
 Time Simulator::run() {
@@ -190,49 +268,175 @@ void Simulator::begin_windowed(uint32_t nodes, Time lookahead) {
   node_q_.resize(nodes);
   inbox_ = std::vector<Mailbox>(nodes + 1);
   creator_seq_.assign(nodes, 0);
+  win_end_lane_.assign(nodes, 0);
+  front_hint_.assign(nodes, kInfTime);
+  front_heap_.clear();
+  armed_cross_ = std::make_unique<std::atomic<uint64_t>[]>(nodes);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    armed_cross_[n].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Simulator::drain_inboxes() {
   for (uint32_t i = 0; i <= nodes_; ++i) {
     Mailbox& box = inbox_[i];
+    if (!box.nonempty.load(std::memory_order_acquire)) continue;
     std::lock_guard<std::mutex> lock(box.mu);
     Queue& q = i == nodes_ ? global_q_ : node_q_[i];
-    for (Entry& e : box.items) q.push(std::move(e));
+    for (Entry& e : box.items) {
+      if (i != nodes_) note_lane_front(i, e.time);
+      q.push(std::move(e));
+    }
     box.items.clear();
+    box.nonempty.store(false, std::memory_order_relaxed);
   }
 }
 
-Time Simulator::node_min_time() const {
-  Time m = kInfTime;
-  for (const Queue& q : node_q_) {
-    if (!q.empty()) m = std::min(m, q.top().time);
+Time Simulator::node_min_time() {
+  // Lazy repair: pop superseded and stale pairs until the top matches a
+  // live lane front. Invariant: a nonempty lane always has a heap pair
+  // at or below its actual front (serial pushes go through
+  // note_lane_front; worker own-lane pushes never lower a front below
+  // the window start the heap already covers).
+  while (!front_heap_.empty()) {
+    const auto [t, n] = front_heap_.front();
+    if (t != front_hint_[n]) {
+      // Superseded by a lower pair for the same lane.
+      std::pop_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
+      front_heap_.pop_back();
+      continue;
+    }
+    const Queue& q = node_q_[n];
+    if (q.empty()) {
+      std::pop_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
+      front_heap_.pop_back();
+      front_hint_[n] = kInfTime;
+      continue;
+    }
+    const Time front = q.top().time;
+    if (front == t) return t;
+    CR_CHECK_MSG(front > t, "lane front below its heap lower bound");
+    // Stale: the lane advanced past the recorded front. Re-key it.
+    std::pop_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
+    front_heap_.pop_back();
+    front_hint_[n] = front;
+    front_heap_.emplace_back(front, n);
+    std::push_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
   }
-  return m;
+  return kInfTime;
+}
+
+void Simulator::compute_window_ends(Time node_min) {
+  ++windows_;
+  const Time global_cap =
+      global_q_.empty() ? kInfTime : global_q_.top().time;
+  if (!adaptive_) {
+    // Reference policy: one global window bounded by the minimum
+    // cross-node delay (PR 5 behavior, bit for bit).
+    const Time b = std::min(sat_add(node_min, lookahead_), global_cap);
+    CR_CHECK(b > node_min);
+    std::fill(win_end_lane_.begin(), win_end_lane_.end(), b);
+    return;
+  }
+  // Adaptive policy. Feedback cap: a merge completion minted during this
+  // window completes at >= node_min and reaches node state no earlier
+  // than the registered floor after that (clamped to the lookahead so a
+  // degenerate single-participant tree keeps the reference envelope).
+  const Time cap = std::min(
+      global_cap, global_floor_ == 0
+                      ? kInfTime
+                      : sat_add(node_min, std::max(global_floor_,
+                                                   lookahead_)));
+  // Outbound horizons. Only lanes that still hold armed cross-node
+  // sends can influence other lanes (arming is unroll-time-only, so the
+  // armed set never grows during the run). But influence *chains*: a
+  // message sent during this window can lower its receiver's effective
+  // front, and the receiver can relay. The fixed point of
+  //   eff_m = min(front_m, min_{x armed, x != m} eff_x + lookahead)
+  // collapses to: the armed lane with the smallest front (h1, at lane
+  // arg1) keeps eff = h1, and every other armed lane m (including ones
+  // with an empty queue) has eff_m = min(front_m, h1 + lookahead),
+  // because arg1 can reach it in one hop. A lane's window end is then
+  // min over the *other* armed lanes of eff + lookahead:
+  //   n != arg1:  B_n = h1 + lookahead      (arg1 influences n directly)
+  //   n == arg1:  B_n = min(h2 + lookahead, h1 + 2*lookahead)
+  //               (direct from the second-lowest armed front, or a
+  //                relay of arg1's own output through any armed lane)
+  // each clamped by the global-feedback cap. Basing horizons on
+  // boundary fronts alone (the obvious formula) is unsound: lane A at
+  // t sends to lane B (arrive t + L, below B's boundary front), B
+  // reacts and sends back at t + 2L — below where A was allowed to run.
+  Time h1 = kInfTime;
+  Time h2 = kInfTime;
+  uint32_t arg1 = kNoAffinity;
+  uint32_t armed_lanes = 0;
+  for (uint32_t m = 0; m < nodes_; ++m) {
+    if (armed_cross_[m].load(std::memory_order_relaxed) == 0) continue;
+    ++armed_lanes;
+    if (node_q_[m].empty()) continue;
+    const Time h = node_q_[m].top().time;
+    if (h < h1) {
+      h2 = h1;
+      h1 = h;
+      arg1 = m;
+    } else if (h < h2) {
+      h2 = h;
+    }
+  }
+  const Time b_other = std::min(cap, sat_add(h1, lookahead_));
+  Time b_min = cap;
+  if (arg1 != kNoAffinity && armed_lanes >= 2) {
+    b_min = std::min(b_min, std::min(sat_add(h2, lookahead_),
+                                     sat_add(h1, 2 * lookahead_)));
+  }
+  for (uint32_t n = 0; n < nodes_; ++n) {
+    const Time b = n == arg1 ? b_min : b_other;
+    // Every component strictly exceeds node_min: fronts of armed lanes
+    // are >= node_min, the serial phase drained every global entry at
+    // or below node_min (so global_cap > node_min), and the lookahead
+    // is positive. Every lane therefore makes progress.
+    CR_CHECK(b > node_min);
+    win_end_lane_[n] = b;
+  }
 }
 
 void Simulator::execute(const Entry& e, uint32_t affinity,
                         uint64_t* processed, Time* max_time) {
+  const uint32_t lane = affinity == kNoAffinity ? nodes_ : affinity;
+  // The conservative-safety invariant, independent of window policy: no
+  // entry may run before something its lane already executed.
+  if (e.time < lane_last_exec_[lane]) {
+    const std::string msg =
+        "lane clock moved backwards (lane " + std::to_string(lane) +
+        ", entry t=" + std::to_string(e.time) + ", lane already at t=" +
+        std::to_string(lane_last_exec_[lane]) + ", cause uid=" +
+        std::to_string(e.cause) + ")";
+    support::check_failed("e.time >= lane_last_exec_[lane]", __FILE__,
+                          __LINE__, msg.c_str());
+  }
+  lane_last_exec_[lane] = e.time;
   tls_.now = e.time;
   tls_.cause = e.cause;
   if (exec_log_ != nullptr) {
-    (*exec_log_)[affinity == kNoAffinity ? nodes_ : affinity].push_back(
-        ExecRecord{e.time, e.creator, e.seq});
+    (*exec_log_)[lane].push_back(ExecRecord{e.time, e.creator, e.seq});
   }
   ++*processed;
   if (e.time > *max_time) *max_time = e.time;
+  pending_windowed_.fetch_sub(1, std::memory_order_relaxed);
   e.fn();
   tls_.cause = 0;
 }
 
-void Simulator::process_nodes(uint32_t worker, uint32_t workers,
-                              Time window_end, uint64_t* processed,
+void Simulator::process_nodes(uint32_t worker, uint64_t* processed,
                               Time* max_time) {
   support::Tracer* tracer = tracer_;
-  for (uint32_t n = worker; n < nodes_; n += workers) {
+  for (uint32_t n = lane_lo_[worker]; n < lane_hi_[worker]; ++n) {
     Queue& q = node_q_[n];
+    const Time window_end = win_end_lane_[n];
     if (q.empty() || q.top().time >= window_end) continue;
     tls_.owner = this;
     tls_.affinity = n;
+    tls_.worker = worker;
     if (tracer != nullptr) support::Tracer::set_thread_lane(n);
     while (!q.empty() && q.top().time < window_end) {
       auto& top = const_cast<Entry&>(q.top());
@@ -244,20 +448,21 @@ void Simulator::process_nodes(uint32_t worker, uint32_t workers,
     tls_.owner = nullptr;
     tls_.affinity = kNoAffinity;
   }
+  flush_outbox(worker);
 }
 
 void Simulator::worker_main(uint32_t worker) {
+  if (!worker_cpus_.empty()) {
+    support::pin_current_thread(
+        worker_cpus_[worker % worker_cpus_.size()]);
+  }
   uint64_t seen = 0;
-  uint32_t spins = 0;
   for (;;) {
-    while (epoch_.load(std::memory_order_acquire) == seen) {
-      relax_wait(spins);
-    }
-    seen = epoch_.load(std::memory_order_acquire);
+    seen = barrier_.await_release(seen);
     if (quit_.load(std::memory_order_acquire)) return;
-    process_nodes(worker, num_workers_, win_end_,
-                  &worker_processed_[worker], &worker_max_time_[worker]);
-    done_workers_.fetch_add(1, std::memory_order_release);
+    process_nodes(worker, &worker_processed_[worker],
+                  &worker_max_time_[worker]);
+    barrier_.arrive(worker - 1, seen);
   }
 }
 
@@ -273,9 +478,34 @@ Time Simulator::run_windowed(uint32_t workers) {
   support::Tracer* tracer = tracer_;
   if (tracer != nullptr) tracer->begin_sharded(nodes_ + 1);
 
+  // Contiguous lane blocks: worker w owns [w*N/W, (w+1)*N/W). Neighboring
+  // lanes exchange the most mailbox traffic in the apps' halo patterns,
+  // so blocks beat round-robin for locality — and the per-lane execution
+  // order (the determinism witness) is identical either way.
+  lane_lo_.assign(num_workers_, 0);
+  lane_hi_.assign(num_workers_, 0);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    lane_lo_[w] = static_cast<uint32_t>(
+        (static_cast<uint64_t>(nodes_) * w) / num_workers_);
+    lane_hi_[w] = static_cast<uint32_t>(
+        (static_cast<uint64_t>(nodes_) * (w + 1)) / num_workers_);
+  }
+  outbox_ = std::vector<OutBuffer>(num_workers_);
+  lane_last_exec_.assign(nodes_ + 1, 0);
   worker_processed_.assign(num_workers_, 0);
   worker_max_time_.assign(num_workers_, 0);
+
+  // Optional topology pinning: the coordinator takes slot 0 and restores
+  // its prior affinity on exit; workers pin in worker_main.
+  std::vector<int> saved_affinity;
+  if (!worker_cpus_.empty()) {
+    saved_affinity = support::current_thread_affinity();
+    support::pin_current_thread(worker_cpus_[0]);
+  }
+
   quit_.store(false, std::memory_order_release);
+  barrier_.init(num_workers_ - 1);
+  epoch_seq_ = 0;
   for (uint32_t w = 1; w < num_workers_; ++w) {
     threads_.emplace_back([this, w] { worker_main(w); });
   }
@@ -287,7 +517,8 @@ Time Simulator::run_windowed(uint32_t workers) {
     // Serial phase: global entries (barrier fan-ins and releases, merge
     // completions) run strictly before any node entry at or after their
     // time. Their callbacks may push node entries directly — workers
-    // are parked — so the frontier is recomputed as they run.
+    // are parked — so the frontier is recomputed as they run (the heap
+    // makes each recomputation O(log nodes) amortized).
     Time node_min = node_min_time();
     while (!global_q_.empty() && global_q_.top().time <= node_min) {
       auto& top = const_cast<Entry&>(global_q_.top());
@@ -306,42 +537,34 @@ Time Simulator::run_windowed(uint32_t workers) {
       CR_CHECK(global_q_.empty());
       break;
     }
-    // Conservative window: node entries in [node_min, B) are mutually
-    // independent across nodes (cross-node influence needs at least
-    // `lookahead_` of wire time) and must not run past a pending global
-    // entry (its serial callbacks may feed these very nodes).
-    Time window_end = node_min + lookahead_;
-    if (!global_q_.empty()) {
-      window_end = std::min(window_end, global_q_.top().time);
-    }
-    CR_CHECK(window_end > node_min);
-    win_end_ = window_end;
+    // Publish this window's per-lane boundaries (policy-dependent; see
+    // compute_window_ends) before releasing the workers.
+    compute_window_ends(node_min);
 
-    uint64_t pending = global_q_.size();
-    for (const Queue& q : node_q_) pending += q.size();
+    // Queue-depth gauge: entries pushed minus executed, sampled at the
+    // boundary where the value is deterministic (same instant the old
+    // O(nodes) rescan measured, without the rescan).
+    const uint64_t pending =
+        pending_windowed_.load(std::memory_order_relaxed);
     if (pending > max_queue_depth_) max_queue_depth_ = pending;
 
     if (num_workers_ > 1) {
-      done_workers_.store(0, std::memory_order_release);
-      epoch_.fetch_add(1, std::memory_order_release);
-      process_nodes(0, num_workers_, window_end, &worker_processed_[0],
-                    &worker_max_time_[0]);
-      uint32_t spins = 0;
-      while (done_workers_.load(std::memory_order_acquire) !=
-             num_workers_ - 1) {
-        relax_wait(spins);
-      }
+      barrier_.release(++epoch_seq_);
+      process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
+      barrier_.wait_arrivals(epoch_seq_);
     } else {
-      process_nodes(0, 1, window_end, &worker_processed_[0],
-                    &worker_max_time_[0]);
+      process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
     }
   }
 
   if (!threads_.empty()) {
     quit_.store(true, std::memory_order_release);
-    epoch_.fetch_add(1, std::memory_order_release);
+    barrier_.release(++epoch_seq_);
     for (std::thread& t : threads_) t.join();
     threads_.clear();
+  }
+  if (!saved_affinity.empty()) {
+    support::set_current_thread_affinity(saved_affinity);
   }
   uint64_t processed = serial_processed;
   Time max_time = serial_max_time;

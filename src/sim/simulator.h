@@ -14,23 +14,57 @@
 //    multi-worker backend. Every scheduled entry carries an *affinity*
 //    (the simulated node whose state its callback touches, or the global
 //    coordinator), and the queue is partitioned per node. Workers execute
-//    node partitions concurrently inside conservative lookahead windows
-//    [T, B) with B - T bounded by the minimum cross-node network latency:
-//    a callback running at time t can influence another node no earlier
-//    than t + lookahead >= B, so nodes are independent within a window.
-//    Global entries (barrier fan-ins, merge completions) run in a serial
-//    phase at window boundaries, strictly before the window's node
-//    entries. Ties are broken by a (time, creator affinity, creator
-//    sequence) key assigned at creation: each affinity's creations are
-//    numbered by its own deterministic execution order, so the full
-//    schedule — and therefore every virtual-time result, metrics
-//    snapshot and trace — is bit-identical for any worker count.
+//    node partitions concurrently inside conservative windows: a callback
+//    running at time t can influence another node no earlier than
+//    t + lookahead (the minimum cross-node network delay), so nodes are
+//    independent within a window. Global entries (barrier fan-ins, merge
+//    completions) run in a serial phase at window boundaries, strictly
+//    before the window's node entries. Ties are broken by a (time,
+//    creator affinity, creator sequence) key assigned at creation: each
+//    affinity's creations are numbered by its own deterministic execution
+//    order, so the full schedule — and therefore every virtual-time
+//    result, metrics snapshot and trace — is bit-identical for any worker
+//    count.
+//
+//    Two window policies share that machinery (set_adaptive_window):
+//
+//    - Reference (global window): every lane stops at
+//      min(node_min + lookahead, next global entry). This is the PR 5
+//      behavior, kept as the equivalence baseline.
+//
+//    - Adaptive (per-lane horizon, the default): only lanes that still
+//      hold *armed* (wired but not yet injected) cross-node sends can
+//      influence other lanes — Network maintains the per-lane armed
+//      counts, and arming happens only at unroll time, so the armed set
+//      never grows during the run. Influence chains, though: a message
+//      sent during a window lowers its receiver's effective front, and
+//      the receiver can relay one lookahead later. Solving the fixed
+//      point eff_m = min(front_m, min_{armed x != m} eff_x + lookahead)
+//      gives, with h1 <= h2 the two smallest fronts among armed lanes
+//      and a* the lane at h1:
+//        B_n (n != a*) = h1 + lookahead
+//        B_{a*}        = min(h2 + lookahead, h1 + 2*lookahead)
+//      each clamped by the global-feedback cap
+//        min(next global entry time, node_min + max(floor, lookahead))
+//      where the global-influence floor is the minimum delay from any
+//      merge completion to its first possible node-side effect
+//      (registered by barriers/collectives at wiring). Lanes whose
+//      armed peers are far in the future — and every lane once the
+//      armed sends drain — run deep into their own queues instead of
+//      stopping at node_min + lookahead. Both policies execute the same
+//      entries in the same per-lane order — only the window boundaries
+//      (and therefore the boundary-sampled queue-depth gauge and the
+//      window count) differ.
+//
+//    Safety is CHECK-enforced twice: a worker's cross-lane push must land
+//    at or after the destination lane's current window end, and every
+//    executed entry must not move its lane's clock backwards.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -38,6 +72,7 @@
 
 #include "sim/event.h"
 #include "sim/event_graph.h"
+#include "sim/window_barrier.h"
 
 namespace cr::support {
 class Tracer;
@@ -101,8 +136,8 @@ class Simulator {
   void schedule_after(Time dt, std::function<void()> fn);
   // Schedule fn at t with an explicit node affinity: the callback runs
   // on (and may touch the state of) node `node`. Cross-node scheduling
-  // from a worker requires t >= the current window boundary — which the
-  // network latency guarantees (CHECK-enforced).
+  // from a worker requires t >= the destination's window boundary —
+  // which the network latency guarantees (CHECK-enforced).
   void schedule_at_affine(Time t, uint32_t node, std::function<void()> fn);
   // Schedule a merge completion at t, keyed (t, kMergeCreator,
   // merge_uid): any worker may request it, the key never depends on
@@ -122,6 +157,37 @@ class Simulator {
   // Drain the partitioned queues with `workers` host threads (>= 1).
   // Bit-identical results for any worker count. Returns the final time.
   Time run_windowed(uint32_t workers);
+
+  // Select the window policy (see the file comment): true = adaptive
+  // per-lane horizons (default), false = the PR 5 global-window
+  // reference. Call before run_windowed(); both policies produce the
+  // same virtual timeline.
+  void set_adaptive_window(bool on) { adaptive_ = on; }
+  bool adaptive_window() const { return adaptive_; }
+
+  // Pin plan for the windowed run's host threads: worker w pins to
+  // cpus[w % cpus.size()] (worker 0 is the coordinator thread, whose
+  // prior affinity is restored when run_windowed returns). Empty (the
+  // default) disables pinning.
+  void set_worker_cpus(std::vector<int> cpus) {
+    worker_cpus_ = std::move(cpus);
+  }
+
+  // --- adaptive-window bookkeeping (Network / sync primitives) ---------
+  // A cross-node send has been wired whose injection will run on node
+  // `src` (Network::send, at subscription time). While a lane has armed
+  // sends its queue front bounds its outbound influence; once the count
+  // drops to zero the lane cannot reach other nodes and stops
+  // constraining their windows.
+  void note_cross_send_armed(uint32_t src);
+  // The armed send's injection callback ran (the delivery is scheduled).
+  void note_cross_send_fired(uint32_t src);
+  // A deferred merge completion wired at unroll time can influence node
+  // state no earlier than `delay` after the completion time. Every
+  // merge_remote wirer must register its floor (CHECK-enforced when a
+  // completion is scheduled in adaptive mode); the minimum across
+  // registrations caps how far any lane may run past the window start.
+  void note_global_influence_floor(Time delay);
 
   // Record every executed entry per affinity lane (nodes_ + 1 lanes,
   // last = global). Windowed mode only; pass nullptr to disable.
@@ -143,6 +209,11 @@ class Simulator {
   // per window boundary (total over all partitions) in windowed mode.
   uint64_t max_queue_depth() const { return max_queue_depth_; }
 
+  // Conservative windows executed by run_windowed (0 for sequential
+  // runs). Adaptive windows are never shallower than reference windows,
+  // so this count is the cheap proxy for barrier overhead.
+  uint64_t windows() const { return windows_; }
+
  private:
   struct Entry {
     Time time;
@@ -162,6 +233,16 @@ class Simulator {
   struct Mailbox {
     std::mutex mu;
     std::vector<Entry> items;
+    // Cheap emptiness probe so drain_inboxes skips the lock for idle
+    // lanes; synchronization rides on the window barrier, the flag is
+    // only a filter.
+    std::atomic<bool> nonempty{false};
+  };
+  // A worker's staged cross-lane pushes, flushed to the destination
+  // mailboxes in one locked batch per destination at the end of the
+  // worker's window share (instead of one lock round-trip per push).
+  struct alignas(64) OutBuffer {
+    std::vector<std::pair<uint32_t, Entry>> staged;  // (lane, entry)
   };
   // Per-thread execution context (windowed mode): the entry being
   // executed provides the clock, the ambient cause and the affinity.
@@ -170,6 +251,7 @@ class Simulator {
     Time now = 0;
     uint64_t cause = 0;
     uint32_t affinity = kNoAffinity;
+    uint32_t worker = 0;
   };
   static thread_local ExecCtx tls_;
 
@@ -178,10 +260,19 @@ class Simulator {
                      uint64_t cseq, std::function<void()> fn);
   void execute(const Entry& e, uint32_t affinity, uint64_t* processed,
                Time* max_time);
-  void process_nodes(uint32_t worker, uint32_t workers, Time window_end,
-                     uint64_t* processed, Time* max_time);
+  void process_nodes(uint32_t worker, uint64_t* processed, Time* max_time);
+  void flush_outbox(uint32_t worker);
   void drain_inboxes();
-  Time node_min_time() const;
+  // Record that lane n gained an entry at time t (serial contexts only):
+  // keeps the lane-front heap's lower-bound invariant.
+  void note_lane_front(uint32_t n, Time t);
+  // Minimum queue front across node lanes, maintained incrementally by a
+  // lazy min-heap over lane fronts (amortized O(log nodes) per window
+  // instead of an O(nodes) rescan per serial-phase iteration).
+  Time node_min_time();
+  // Fill win_end_lane_ for the window starting at node_min under the
+  // current policy, and bump the window counter.
+  void compute_window_ends(Time node_min);
   void worker_main(uint32_t worker);
 
   Time now_ = 0;
@@ -197,6 +288,7 @@ class Simulator {
 
   // --- windowed backend state ------------------------------------------
   bool windowed_ = false;
+  bool adaptive_ = true;
   uint32_t nodes_ = 0;
   Time lookahead_ = 0;
   std::vector<Queue> node_q_;          // per-node partitions
@@ -204,20 +296,50 @@ class Simulator {
   std::vector<Mailbox> inbox_;         // nodes_ + 1, last = global
   std::vector<uint64_t> creator_seq_;  // per-node creation counters
   uint64_t global_creator_seq_ = 0;
-  Time win_end_ = 0;  // current window boundary B (cross-push CHECK)
+  // Current per-lane window boundaries B_n (uniform in reference mode).
+  // Written by the coordinator between windows, read by workers for the
+  // cross-push CHECK; the barrier's release/arrive ordering publishes it.
+  std::vector<Time> win_end_lane_;
+  // Last executed time per lane (nodes_ + 1, last = global): the
+  // conservative-safety invariant — no policy may let a lane's clock run
+  // backwards (CHECK-enforced in execute()).
+  std::vector<Time> lane_last_exec_;
+  uint64_t windows_ = 0;
   std::vector<std::vector<ExecRecord>>* exec_log_ = nullptr;
 
-  // Worker rendezvous: the coordinator publishes a window, bumps the
-  // epoch, processes its own share, then waits for the others. Workers
-  // spin briefly and then yield (the backend must degrade gracefully
-  // when host cores < workers).
+  // Adaptive-window inputs. Armed counts are bumped at wiring and
+  // decremented from whichever worker runs the injection; they only
+  // decrease during a window, so a boundary read is conservative.
+  std::unique_ptr<std::atomic<uint64_t>[]> armed_cross_;
+  Time global_floor_ = 0;  // min registered floor; 0 = none registered
+
+  // Lane-front heap: (front, lane) pairs, lazily repaired. front_hint_
+  // holds the smallest time currently enqueued for the lane (or inf);
+  // stale pairs are discarded on pop.
+  std::vector<std::pair<Time, uint32_t>> front_heap_;
+  std::vector<Time> front_hint_;
+
+  // Pending-entry gauge for windowed mode: pushes increment, executions
+  // decrement; sampled only at window boundaries (workers parked), where
+  // its value is deterministic.
+  std::atomic<uint64_t> pending_windowed_{0};
+
+  // Worker rendezvous: the coordinator publishes the window's lane
+  // boundaries, releases an epoch through the barrier, processes its own
+  // lane block, then waits for the arrival tree. Workers spin briefly
+  // and then park (the backend must degrade gracefully when host cores
+  // < workers).
   uint32_t num_workers_ = 0;
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint32_t> done_workers_{0};
+  WindowBarrier barrier_;
+  uint64_t epoch_seq_ = 0;
   std::atomic<bool> quit_{false};
   std::vector<std::thread> threads_;
   std::vector<uint64_t> worker_processed_;
   std::vector<Time> worker_max_time_;
+  std::vector<uint32_t> lane_lo_;  // per-worker contiguous lane blocks
+  std::vector<uint32_t> lane_hi_;
+  std::vector<OutBuffer> outbox_;  // per-worker staged cross pushes
+  std::vector<int> worker_cpus_;   // pin plan; empty = no pinning
 };
 
 }  // namespace cr::sim

@@ -1,0 +1,123 @@
+#include "sim/window_barrier.h"
+
+#include <thread>
+
+#include "support/check.h"
+
+namespace cr::sim {
+
+namespace {
+
+// Bounded spin helper: cheap pause loop, yielding periodically so an
+// oversubscribed host still makes progress during the spin phase.
+inline void spin_pause(uint32_t i) {
+  if ((i & 63u) == 63u) std::this_thread::yield();
+}
+
+}  // namespace
+
+void WindowBarrier::init(uint32_t arrivers) {
+  arrivers_ = arrivers;
+  counters_.clear();
+  leaf_base_ = 0;
+  epoch_.store(0, std::memory_order_relaxed);
+  root_done_.store(0, std::memory_order_relaxed);
+  parked_.store(0, std::memory_order_relaxed);
+  if (arrivers == 0) return;
+  // Build the combining tree level by level, leaves first. Each level
+  // groups the previous one in blocks of kFanIn until a single root
+  // remains; parent indices are patched as the next level is laid out.
+  uint32_t level_begin = 0;
+  uint32_t level_count = (arrivers + kFanIn - 1) / kFanIn;
+  counters_.resize(level_count);
+  for (uint32_t i = 0; i < level_count; ++i) {
+    const uint32_t lo = i * kFanIn;
+    counters_[i].width = std::min(kFanIn, arrivers - lo);
+  }
+  while (level_count > 1) {
+    const uint32_t next_begin = level_begin + level_count;
+    const uint32_t next_count = (level_count + kFanIn - 1) / kFanIn;
+    counters_.resize(next_begin + next_count);
+    for (uint32_t i = 0; i < next_count; ++i) {
+      const uint32_t lo = i * kFanIn;
+      counters_[next_begin + i].width =
+          std::min(kFanIn, level_count - lo);
+    }
+    for (uint32_t i = 0; i < level_count; ++i) {
+      counters_[level_begin + i].parent =
+          static_cast<int32_t>(next_begin + i / kFanIn);
+    }
+    level_begin = next_begin;
+    level_count = next_count;
+  }
+}
+
+void WindowBarrier::release(uint64_t epoch) {
+  CR_CHECK(epoch > epoch_.load(std::memory_order_relaxed));
+  // Re-arm the arrival tree before the epoch becomes visible; all
+  // arrivers are quiescent here (the previous wait_arrivals returned).
+  for (Counter& c : counters_) {
+    c.remaining.store(c.width, std::memory_order_relaxed);
+  }
+  // seq_cst store + seq_cst parked load: the classic sleeping-waiter
+  // pairing with await_release's parked increment + wait. Under SC at
+  // least one side observes the other, so the notify is never skipped
+  // while a worker commits to parking on the stale epoch.
+  epoch_.store(epoch, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    epoch_.notify_all();
+  }
+}
+
+uint64_t WindowBarrier::await_release(uint64_t seen) {
+  for (uint32_t i = 0; i < kSpinBudget; ++i) {
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (e != seen) return e;
+    spin_pause(i);
+  }
+  for (;;) {
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    epoch_.wait(seen, std::memory_order_seq_cst);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (e != seen) return e;
+  }
+}
+
+void WindowBarrier::propagate(uint32_t index, uint64_t epoch) {
+  Counter& c = counters_[index];
+  if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (c.parent >= 0) {
+    propagate(static_cast<uint32_t>(c.parent), epoch);
+    return;
+  }
+  // Subtree complete all the way up: publish to the coordinator. The
+  // acq_rel RMW chain makes every arriver's prior writes visible to a
+  // wait_arrivals() that observes this store.
+  root_done_.store(epoch, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    root_done_.notify_all();
+  }
+}
+
+void WindowBarrier::arrive(uint32_t arriver, uint64_t epoch) {
+  CR_CHECK(arriver < arrivers_);
+  propagate(leaf_base_ + arriver / kFanIn, epoch);
+}
+
+void WindowBarrier::wait_arrivals(uint64_t epoch) {
+  if (arrivers_ == 0) return;
+  for (uint32_t i = 0; i < kSpinBudget; ++i) {
+    if (root_done_.load(std::memory_order_acquire) == epoch) return;
+    spin_pause(i);
+  }
+  const uint64_t prev = epoch - 1;
+  for (;;) {
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    root_done_.wait(prev, std::memory_order_seq_cst);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (root_done_.load(std::memory_order_acquire) == epoch) return;
+  }
+}
+
+}  // namespace cr::sim

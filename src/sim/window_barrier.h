@@ -1,0 +1,100 @@
+// Window-boundary rendezvous for the multi-worker DES backend.
+//
+// Each conservative window is one release/arrive cycle: the coordinator
+// publishes a new epoch to start the window's node phase, every worker
+// processes its lane block, and the coordinator proceeds once all
+// arrivals have landed. PR 5 used a single shared done-counter that
+// every worker hammered with fetch_add while the coordinator spun on it
+// — at tens of thousands of windows per run the cache-line ping-pong on
+// that counter was the dominant parallel overhead.
+//
+// This is the classic fix: a sense-reversing barrier where the "sense"
+// is the monotonically increasing epoch number itself (no flag flips to
+// reset), arrivals combine up a small fan-in tree of cache-line-padded
+// counters (each core contends with at most kFanIn-1 siblings, never
+// the whole pool), and waiters spin a bounded number of iterations
+// before parking on a futex (C++20 atomic wait), so an oversubscribed
+// host degrades to sleeping instead of burning a core per worker.
+//
+// Ordering contract: everything the coordinator wrote before release()
+// is visible to workers after await_release() returns (epoch store is a
+// release, the load an acquire), and everything a worker wrote before
+// arrive() is visible to the coordinator after wait_arrivals() returns
+// (the arrival RMW chain up the tree is acq_rel, the root publication a
+// release).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cr::sim {
+
+class WindowBarrier {
+ public:
+  // Arrivals combine in groups of four: for the worker counts this
+  // backend targets (<= a few dozen) the tree is one or two levels, and
+  // four arrivals per line amortizes the propagation RMW without
+  // widening contention much.
+  static constexpr uint32_t kFanIn = 4;
+  // Spin budget before parking. Windows are short (microseconds), so
+  // waits usually resolve within the spin; the park only engages when
+  // the host is oversubscribed or a lane block is skewed.
+  static constexpr uint32_t kSpinBudget = 4096;
+
+  WindowBarrier() = default;
+  WindowBarrier(const WindowBarrier&) = delete;
+  WindowBarrier& operator=(const WindowBarrier&) = delete;
+
+  // (Re)build for `arrivers` arriving threads (workers 1..W-1; zero is
+  // valid and makes release/wait trivial). Not thread-safe: call while
+  // no thread is inside the barrier.
+  void init(uint32_t arrivers);
+
+  // Coordinator: publish `epoch` (strictly increasing) and wake parked
+  // workers. Resets the arrival tree for this cycle.
+  void release(uint64_t epoch);
+
+  // Worker: block until an epoch newer than `seen` is published; returns
+  // the new epoch. Spins kSpinBudget times, then parks on the epoch
+  // word.
+  uint64_t await_release(uint64_t seen);
+
+  // Worker: signal arrival for `epoch`. `arriver` in [0, arrivers)
+  // selects the leaf counter so neighbors contend only within their
+  // fan-in group; the chain propagates to the root when a subtree
+  // completes.
+  void arrive(uint32_t arriver, uint64_t epoch);
+
+  // Coordinator: block until all arrivers have arrived for `epoch`.
+  // No-op when the barrier was built with zero arrivers.
+  void wait_arrivals(uint64_t epoch);
+
+ private:
+  struct alignas(64) Counter {
+    std::atomic<uint32_t> remaining{0};
+    uint32_t width = 0;   // arrivals expected at this node
+    int32_t parent = -1;  // index into counters_, -1 = root
+    Counter() = default;
+    // Copies only happen in init() while the barrier is quiescent (the
+    // vector resizing as levels are laid out).
+    Counter(const Counter& o)
+        : remaining(o.remaining.load(std::memory_order_relaxed)),
+          width(o.width),
+          parent(o.parent) {}
+  };
+
+  std::atomic<uint64_t> epoch_{0};
+  // Count of workers currently parked on epoch_: release() skips the
+  // notify syscall entirely in the common all-spinning case.
+  std::atomic<uint32_t> parked_{0};
+  alignas(64) std::atomic<uint64_t> root_done_{0};
+  std::vector<Counter> counters_;  // leaves first, root last
+  uint32_t arrivers_ = 0;
+  uint32_t leaf_base_ = 0;  // index of the first leaf counter
+
+  void propagate(uint32_t index, uint64_t epoch);
+};
+
+}  // namespace cr::sim

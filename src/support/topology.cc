@@ -1,0 +1,138 @@
+#include "support/topology.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cr::support {
+
+namespace {
+
+#if defined(__linux__)
+// Read a small integer from a /sys topology file; `fallback` when the
+// file is missing or malformed (containers often hide /sys).
+int read_sys_int(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  if (!in.good()) return fallback;
+  int v = fallback;
+  in >> v;
+  if (in.fail()) return fallback;
+  return v;
+}
+#endif
+
+}  // namespace
+
+CpuTopology CpuTopology::probe() {
+  CpuTopology topo;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return topo;
+  const std::string base = "/sys/devices/system/cpu/cpu";
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &set)) continue;
+    LogicalCpu lc;
+    lc.cpu = c;
+    const std::string dir = base + std::to_string(c) + "/topology/";
+    lc.core = read_sys_int(dir + "core_id", -1);
+    lc.package = read_sys_int(dir + "physical_package_id", -1);
+    topo.cpus.push_back(lc);
+  }
+#endif
+  return topo;
+}
+
+uint32_t CpuTopology::physical_cores() const {
+  std::map<std::pair<int, int>, bool> seen;
+  for (const LogicalCpu& lc : cpus) {
+    // Unknown core ids count individually (key on the cpu index).
+    const int core = lc.core >= 0 ? lc.core : lc.cpu;
+    seen[{lc.package, core}] = true;
+  }
+  return static_cast<uint32_t>(seen.size());
+}
+
+std::vector<int> CpuTopology::plan(uint32_t n) const {
+  std::vector<int> order;
+  if (cpus.empty() || n == 0) return order;
+  // Sort by (package, core, cpu) so packing is cache-hierarchy friendly,
+  // then take one CPU per distinct physical core before any sibling.
+  std::vector<LogicalCpu> sorted = cpus;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LogicalCpu& a, const LogicalCpu& b) {
+              if (a.package != b.package) return a.package < b.package;
+              if (a.core != b.core) return a.core < b.core;
+              return a.cpu < b.cpu;
+            });
+  std::map<std::pair<int, int>, bool> used_core;
+  std::vector<int> siblings;
+  for (const LogicalCpu& lc : sorted) {
+    const int core = lc.core >= 0 ? lc.core : lc.cpu;
+    auto key = std::make_pair(lc.package, core);
+    if (!used_core[key]) {
+      used_core[key] = true;
+      order.push_back(lc.cpu);
+    } else {
+      siblings.push_back(lc.cpu);
+    }
+  }
+  order.insert(order.end(), siblings.begin(), siblings.end());
+  // Cycle when oversubscribed: pinning still beats free migration.
+  std::vector<int> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(order[i % order.size()]);
+  return out;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+std::vector<int> current_thread_affinity() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return cpus;
+  }
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) cpus.push_back(c);
+  }
+#endif
+  return cpus;
+}
+
+bool set_current_thread_affinity(const std::vector<int>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+}  // namespace cr::support

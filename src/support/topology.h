@@ -1,0 +1,57 @@
+// Hardware topology probe for worker placement (hwloc-free).
+//
+// The windowed backend's workers are symmetric spinners: two workers
+// sharing an SMT core (or a window barrier bouncing between packages)
+// costs real wall-clock time even though virtual time is unaffected.
+// This probe reads the calling process's allowed CPU set
+// (sched_getaffinity) and each CPU's core/package identity from
+// /sys/devices/system/cpu/cpuN/topology, then plans a pin order that
+// spreads workers across distinct physical cores (packed by package)
+// before resorting to SMT siblings.
+//
+// Everything degrades gracefully: on non-Linux hosts, restricted
+// containers, or missing /sys entries, probe() returns what it can and
+// pinning becomes a no-op rather than an error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cr::support {
+
+struct LogicalCpu {
+  int cpu = -1;      // OS logical CPU index
+  int core = -1;     // physical core id within the package (-1 unknown)
+  int package = -1;  // physical package / socket id (-1 unknown)
+};
+
+struct CpuTopology {
+  std::vector<LogicalCpu> cpus;  // the allowed set, sorted by cpu index
+
+  // Probe the calling process's allowed CPUs. Empty on failure or on
+  // platforms without affinity support.
+  static CpuTopology probe();
+
+  // A pin order for `n` threads: distinct physical cores first (packed
+  // by package so lanes that exchange mailbox traffic share a cache
+  // hierarchy), then SMT siblings, cycling when n exceeds the allowed
+  // set. Empty when the probe found nothing (callers skip pinning).
+  std::vector<int> plan(uint32_t n) const;
+
+  // Count of distinct (package, core) pairs; equals cpus.size() when
+  // core ids are unknown.
+  uint32_t physical_cores() const;
+};
+
+// Pin the calling thread to one CPU. Returns false (and changes
+// nothing) when unsupported or rejected by the OS.
+bool pin_current_thread(int cpu);
+
+// The calling thread's full allowed CPU set as a list, for restoring
+// after a pinned run. Empty on failure.
+std::vector<int> current_thread_affinity();
+
+// Restore a previously captured allowed set. No-op on an empty list.
+bool set_current_thread_affinity(const std::vector<int>& cpus);
+
+}  // namespace cr::support

@@ -188,6 +188,49 @@ TEST(BenchDiff, NegativeHostSecondsIsAnError) {
   EXPECT_TRUE(bench_diff(good, null_hs, DiffOptions{}).ok());
 }
 
+TEST(BenchDiff, HostMetricsGateOnlyViaHostPct) {
+  // Wall-clock ("host.") metrics are real measurements but noisy: they
+  // must never be covered by the virtual-time all_pct gate, only by the
+  // dedicated (typically looser) host_pct threshold.
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,
+     "metrics":{"host.run_seconds":1.0,"sim.events_processed":500}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,
+     "metrics":{"host.run_seconds":1.5,"sim.events_processed":500}}]}]})";
+  // +50% host time: invisible to the default options and to all_pct...
+  EXPECT_TRUE(bench_diff(base, cur, DiffOptions{}).ok());
+  DiffOptions all;
+  all.all_pct = 5.0;
+  EXPECT_TRUE(bench_diff(base, cur, all).ok());
+  // ...flagged once the host gate is on.
+  DiffOptions host;
+  host.host_pct = 25.0;
+  const DiffResult r = bench_diff(base, cur, host);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.regressions.empty());
+  EXPECT_NE(r.regressions[0].find("host.run_seconds"), std::string::npos);
+  // +50% is fine under a looser gate.
+  host.host_pct = 75.0;
+  EXPECT_TRUE(bench_diff(base, cur, host).ok());
+}
+
+TEST(BenchDiff, InfoMetricsNeverGate) {
+  // "info." keys are context (rates, rep counts), not costs: neither
+  // all_pct nor host_pct may gate them. An explicit per-metric override
+  // still can — the operator asked for that key by name.
+  const char* base = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"info.reps":3}}]}]})";
+  const char* cur = R"({"series":[{"name":"s","points":[
+    {"nodes":1,"makespan_ns":100,"metrics":{"info.reps":9}}]}]})";
+  DiffOptions opt;
+  opt.all_pct = 5.0;
+  opt.host_pct = 5.0;
+  EXPECT_TRUE(bench_diff(base, cur, opt).ok());
+  opt.metric_pct["info.reps"] = 50.0;
+  EXPECT_FALSE(bench_diff(base, cur, opt).ok());
+}
+
 TEST(BenchDiff, MalformedJsonIsAnError) {
   const DiffResult r = bench_diff("{not json", kBaseline, DiffOptions{});
   EXPECT_FALSE(r.ok());

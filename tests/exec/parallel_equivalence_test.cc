@@ -60,7 +60,7 @@ ir::Program build_app(rt::Runtime& rt, const std::string& app,
 }
 
 ExecutionResult run_app(const std::string& app, uint32_t workers,
-                        bool replay = false) {
+                        bool replay = false, bool adaptive = true) {
   CostModel cost;
   cost.track_dependences = false;
   const uint32_t nodes = 4;
@@ -73,8 +73,20 @@ ExecutionResult run_app(const std::string& app, uint32_t workers,
   cfg.workers = workers;
   cfg.check = true;
   cfg.trace_replay = replay;
+  cfg.adaptive_window = adaptive;
   PreparedRun run = prepare(rt, std::move(program), cfg);
   return run.run();
+}
+
+// Metrics that legitimately depend on the window *structure* rather than
+// the simulated timeline: the boundary-sampled queue-depth gauge and the
+// window count. Cross-policy comparisons strip them; same-policy
+// comparisons across worker counts keep the full snapshot.
+std::map<std::string, double> without_window_shape(
+    std::map<std::string, double> m) {
+  m.erase("sim.queue.max_depth");
+  m.erase("sim.windows");
+  return m;
 }
 
 // Worker counts required by the equivalence contract: 1, 2, 4 and the
@@ -87,29 +99,47 @@ std::vector<uint32_t> worker_counts() {
 }
 
 void expect_bit_identical(const std::string& app) {
+  // Reference point: adaptive windows, one worker. The grid runs both
+  // window policies at every worker count; within a policy everything
+  // (including window-shaped gauges) must match the policy's own
+  // single-worker run, and across policies everything except the
+  // window-shaped gauges must match too — same timeline, different
+  // synchronization schedule.
   const ExecutionResult ref = run_app(app, 1);
   ASSERT_GT(ref.makespan_ns, 0u);
   ASSERT_GT(ref.point_tasks, 0u);
   ASSERT_NE(ref.check, nullptr);
-  for (const uint32_t w : worker_counts()) {
-    if (w == 1) continue;
-    const ExecutionResult res = run_app(app, w);
-    EXPECT_EQ(res.makespan_ns, ref.makespan_ns) << app << " workers=" << w;
-    EXPECT_EQ(res.point_tasks, ref.point_tasks) << app << " workers=" << w;
-    EXPECT_EQ(res.bytes_moved, ref.bytes_moved) << app << " workers=" << w;
-    EXPECT_EQ(res.messages, ref.messages) << app << " workers=" << w;
-    // The full metrics snapshot — every sim./rt./exec./check. counter —
-    // must match key for key, value for value.
-    EXPECT_EQ(res.metrics, ref.metrics) << app << " workers=" << w;
-    // Identical race-checker verdict.
-    ASSERT_NE(res.check, nullptr) << app << " workers=" << w;
-    EXPECT_EQ(res.check->ok(), ref.check->ok()) << app << " workers=" << w;
-    EXPECT_EQ(res.check->races.size(), ref.check->races.size())
-        << app << " workers=" << w;
-    EXPECT_EQ(res.check->stats.accesses, ref.check->stats.accesses)
-        << app << " workers=" << w;
-    EXPECT_EQ(res.check->stats.pairs_checked, ref.check->stats.pairs_checked)
-        << app << " workers=" << w;
+  const ExecutionResult ref_global =
+      run_app(app, 1, /*replay=*/false, /*adaptive=*/false);
+  EXPECT_EQ(ref_global.makespan_ns, ref.makespan_ns) << app << " cross-mode";
+  EXPECT_EQ(without_window_shape(ref_global.metrics),
+            without_window_shape(ref.metrics))
+      << app << " cross-mode";
+  for (const bool adaptive : {true, false}) {
+    const ExecutionResult& base = adaptive ? ref : ref_global;
+    for (const uint32_t w : worker_counts()) {
+      if (w == 1) continue;
+      const ExecutionResult res =
+          run_app(app, w, /*replay=*/false, adaptive);
+      const std::string where = app + (adaptive ? " adaptive" : " global") +
+                                " workers=" + std::to_string(w);
+      EXPECT_EQ(res.makespan_ns, base.makespan_ns) << where;
+      EXPECT_EQ(res.point_tasks, base.point_tasks) << where;
+      EXPECT_EQ(res.bytes_moved, base.bytes_moved) << where;
+      EXPECT_EQ(res.messages, base.messages) << where;
+      // The full metrics snapshot — every sim./rt./exec./check. counter —
+      // must match key for key, value for value.
+      EXPECT_EQ(res.metrics, base.metrics) << where;
+      // Identical race-checker verdict.
+      ASSERT_NE(res.check, nullptr) << where;
+      EXPECT_EQ(res.check->ok(), base.check->ok()) << where;
+      EXPECT_EQ(res.check->races.size(), base.check->races.size()) << where;
+      EXPECT_EQ(res.check->stats.accesses, base.check->stats.accesses)
+          << where;
+      EXPECT_EQ(res.check->stats.pairs_checked,
+                base.check->stats.pairs_checked)
+          << where;
+    }
   }
 }
 

@@ -24,7 +24,8 @@ struct WitnessedRun {
   ExecutionResult result;
 };
 
-WitnessedRun run_witnessed(uint64_t seed, uint32_t workers) {
+WitnessedRun run_witnessed(uint64_t seed, uint32_t workers,
+                           bool adaptive = true) {
   support::Rng rng(seed * 9176 + 3);
   const uint32_t nodes = 2 + static_cast<uint32_t>(rng.next_below(3));
   const uint64_t colors = nodes + rng.next_below(nodes + 1);
@@ -40,6 +41,7 @@ WitnessedRun run_witnessed(uint64_t seed, uint32_t workers) {
   cfg.cost = cost;
   cfg.mode = ExecMode::kSpmd;
   cfg.workers = workers;
+  cfg.adaptive_window = adaptive;
   PreparedRun run = prepare(rt, rp.program, cfg);
   WitnessedRun out;
   rt.sim().set_exec_log(&out.log);
@@ -69,6 +71,39 @@ TEST_P(ParallelProperty, WorkerCountsReplayIdenticalEventOrders) {
     EXPECT_EQ(res.result.makespan_ns, ref.result.makespan_ns)
         << "seed " << seed << " workers=" << workers;
     EXPECT_EQ(res.result.metrics, ref.result.metrics)
+        << "seed " << seed << " workers=" << workers;
+  }
+}
+
+// The adaptive per-lane horizon must execute the exact same per-lane
+// event orders as the reference global window — the window boundaries
+// are a synchronization schedule, not a semantic input. A violation of
+// the horizon's conservative-safety invariant (a cross-node message
+// landing inside a lane's already-executed past) aborts via CR_CHECK,
+// so these seeds double as a randomized soundness probe for the fixed
+// point in Simulator::compute_window_ends: the random programs exercise
+// cross-node send/react feedback chains, scalar reductions through
+// collectives, and region reductions the four paper apps don't.
+TEST_P(ParallelProperty, AdaptiveWindowsReplayReferenceOrders) {
+  const uint64_t seed = GetParam();
+  const WitnessedRun ref = run_witnessed(seed, 1, /*adaptive=*/false);
+  for (const uint32_t workers : {1u, 2u, 4u}) {
+    const WitnessedRun res = run_witnessed(seed, workers, /*adaptive=*/true);
+    ASSERT_EQ(res.log.size(), ref.log.size())
+        << "seed " << seed << " workers=" << workers;
+    for (size_t lane = 0; lane < ref.log.size(); ++lane) {
+      EXPECT_EQ(res.log[lane], ref.log[lane])
+          << "seed " << seed << " workers=" << workers << " lane " << lane;
+    }
+    EXPECT_EQ(res.result.makespan_ns, ref.result.makespan_ns)
+        << "seed " << seed << " workers=" << workers;
+    // Wider windows are the whole point: the adaptive policy must never
+    // need more boundary synchronizations than the reference policy.
+    const auto rw = res.result.metrics.find("sim.windows");
+    const auto bw = ref.result.metrics.find("sim.windows");
+    ASSERT_NE(rw, res.result.metrics.end());
+    ASSERT_NE(bw, ref.result.metrics.end());
+    EXPECT_LE(rw->second, bw->second)
         << "seed " << seed << " workers=" << workers;
   }
 }

@@ -1,0 +1,68 @@
+// Host CPU topology probing and worker placement. The probe reads the
+// real machine (affinity mask + sysfs), so the tests assert structural
+// invariants — nonempty, deduplicated, plan() cycling — rather than any
+// particular core count.
+#include "support/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cr::support {
+namespace {
+
+TEST(Topology, ProbeFindsAtLeastOneCpu) {
+  const CpuTopology topo = CpuTopology::probe();
+  ASSERT_FALSE(topo.cpus.empty());
+  std::set<int> ids;
+  for (const LogicalCpu& c : topo.cpus) {
+    EXPECT_GE(c.cpu, 0);
+    ids.insert(c.cpu);
+  }
+  // No duplicate logical CPUs.
+  EXPECT_EQ(ids.size(), topo.cpus.size());
+  EXPECT_GE(topo.physical_cores(), 1u);
+  EXPECT_LE(topo.physical_cores(), topo.cpus.size());
+}
+
+TEST(Topology, PlanCoversRequestedWorkers) {
+  const CpuTopology topo = CpuTopology::probe();
+  for (const uint32_t n : {1u, 2u, 4u, 9u}) {
+    const std::vector<int> plan = topo.plan(n);
+    ASSERT_EQ(plan.size(), n) << n;
+    for (const int cpu : plan) {
+      bool known = false;
+      for (const LogicalCpu& c : topo.cpus) known |= c.cpu == cpu;
+      EXPECT_TRUE(known) << "planned cpu " << cpu << " not in probe";
+    }
+  }
+}
+
+TEST(Topology, PlanPrefersDistinctPhysicalCores) {
+  const CpuTopology topo = CpuTopology::probe();
+  const size_t cores = topo.physical_cores();
+  const std::vector<int> plan = topo.plan(static_cast<uint32_t>(cores));
+  std::set<std::pair<int, int>> seen;  // (package, core)
+  for (const int cpu : plan) {
+    for (const LogicalCpu& c : topo.cpus) {
+      if (c.cpu == cpu) seen.insert({c.package, c.core});
+    }
+  }
+  // One slot per distinct physical core before any SMT sibling repeats.
+  EXPECT_EQ(seen.size(), cores);
+}
+
+TEST(Topology, AffinityRoundTrip) {
+  const std::vector<int> before = current_thread_affinity();
+  ASSERT_FALSE(before.empty());
+  // Pin to the first allowed CPU, confirm, then restore.
+  ASSERT_TRUE(pin_current_thread(before[0]));
+  const std::vector<int> pinned = current_thread_affinity();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0], before[0]);
+  ASSERT_TRUE(set_current_thread_affinity(before));
+  EXPECT_EQ(current_thread_affinity(), before);
+}
+
+}  // namespace
+}  // namespace cr::support

@@ -5,6 +5,8 @@
 //   bench_diff <baseline.json> <current.json>
 //       [--makespan=<pct>]         threshold for makespan_ns (default 5)
 //       [--all=<pct>]              gate every metric at this threshold
+//       [--host=<pct>]             gate "host."-prefixed wall-clock
+//                                  metrics at this (looser) threshold
 //       [--metric=<name>:<pct>]    per-metric threshold (repeatable)
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +20,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--makespan=<pct>] "
-               "[--all=<pct>] [--metric=<name>:<pct>]\n",
+               "[--all=<pct>] [--host=<pct>] [--metric=<name>:<pct>]\n",
                argv0);
   return 2;
 }
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
       options.makespan_pct = std::atof(arg.c_str() + std::strlen("--makespan="));
     } else if (arg.rfind("--all=", 0) == 0) {
       options.all_pct = std::atof(arg.c_str() + std::strlen("--all="));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host_pct = std::atof(arg.c_str() + std::strlen("--host="));
     } else if (arg.rfind("--metric=", 0) == 0) {
       const std::string spec = arg.substr(std::strlen("--metric="));
       const size_t colon = spec.rfind(':');
