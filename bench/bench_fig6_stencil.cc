@@ -15,6 +15,7 @@
 
 #include "apps/stencil/stencil.h"
 #include "common.h"
+#include "mapper_matrix.h"
 
 namespace {
 
@@ -202,6 +203,31 @@ bool dependence_study(bench::Bench& bench,
   return same;
 }
 
+// --mapper-matrix: the heterogeneous scenario with the cores
+// oversubscribed (4 tiles per compute core) so placement quality shows
+// up as queueing rather than vanishing behind idle cores.
+int run_matrix(bench::Bench& bench) {
+  return bench::run_mapper_matrix(
+      bench, /*nodes=*/8, [&](const bench::MatrixCell& cell) {
+        exec::CostModel cost = exec::CostModel::piz_daint();
+        cost.track_dependences = false;
+        Config cfg = make_config(cell.nodes, /*steps=*/3);
+        cfg.tasks_per_node = 4 * kTilesPerNode;
+        rt::RuntimeConfig rc = exec::runtime_config(cell.nodes, 12, cost,
+                                                    /*real_data=*/false);
+        cell.apply(rc);
+        rt::Runtime rt(rc);
+        apps::stencil::App app = apps::stencil::build(rt, cfg);
+        for (auto& t : app.program.tasks) t.kernel = nullptr;
+        exec::ExecConfig ecfg = bench.config(exec::ExecMode::kSpmd, cost);
+        ecfg.mapper = cell.mapper;
+        ecfg.workers = cell.workers;
+        ecfg.check = true;
+        exec::PreparedRun run = exec::prepare(rt, app.program, ecfg);
+        return run.run();
+      });
+}
+
 double run_mpi(uint32_t nodes, bool openmp) {
   exec::CostModel cost = exec::CostModel::piz_daint();
   auto total = [&](uint64_t steps) {
@@ -216,6 +242,7 @@ double run_mpi(uint32_t nodes, bool openmp) {
 
 int main(int argc, char** argv) {
   cr::bench::Bench bench("stencil", argc, argv);
+  if (bench.options().mapper_matrix) return run_matrix(bench);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)",
        [&](uint32_t n) { return run_engine(bench, n, true); }},

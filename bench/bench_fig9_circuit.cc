@@ -6,6 +6,7 @@
 
 #include "apps/circuit/circuit.h"
 #include "common.h"
+#include "mapper_matrix.h"
 
 namespace {
 
@@ -56,10 +57,35 @@ double run_engine(bench::Bench& bench, uint32_t nodes, bool spmd) {
   return cr::bench::steady_seconds(total, 2, 5);
 }
 
+// --mapper-matrix: the heterogeneous scenario with the cores
+// oversubscribed (3 pieces per compute core).
+int run_matrix(bench::Bench& bench) {
+  return bench::run_mapper_matrix(
+      bench, /*nodes=*/8, [&](const bench::MatrixCell& cell) {
+        exec::CostModel cost = exec::CostModel::piz_daint();
+        cost.track_dependences = false;
+        Config cfg = make_config(cell.nodes, /*steps=*/3);
+        cfg.pieces_per_node = 33;
+        rt::RuntimeConfig rc = exec::runtime_config(cell.nodes, 12, cost,
+                                                    /*real_data=*/false);
+        cell.apply(rc);
+        rt::Runtime rt(rc);
+        apps::circuit::App app = apps::circuit::build(rt, cfg);
+        for (auto& t : app.program.tasks) t.kernel = nullptr;
+        exec::ExecConfig ecfg = bench.config(exec::ExecMode::kSpmd, cost);
+        ecfg.mapper = cell.mapper;
+        ecfg.workers = cell.workers;
+        ecfg.check = true;
+        exec::PreparedRun run = exec::prepare(rt, app.program, ecfg);
+        return run.run();
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cr::bench::Bench bench("circuit", argc, argv);
+  if (bench.options().mapper_matrix) return run_matrix(bench);
   std::vector<cr::bench::SeriesSpec> specs = {
       {"Regent (with CR)", [&](uint32_t n) { return run_engine(bench, n, true); }},
       {"Regent (w/o CR)", [&](uint32_t n) { return run_engine(bench, n, false); }},

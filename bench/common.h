@@ -176,6 +176,15 @@ struct BenchOptions {
   // (ExecConfig::trace_replay). Only engages for implicit runs that
   // track dependences; virtual results are bit-identical either way.
   bool replay = false;
+  // --mapper=<name>: placement policy for every engine run, resolved
+  // through rt::MapperRegistry ("default", "balanced", "adversarial",
+  // "random"). --mapper-seed seeds the "random" policy.
+  std::string mapper = "default";
+  int64_t mapper_seed = 0;
+  // --mapper-matrix: instead of the weak-scaling sweep, run the fixed
+  // heterogeneous/faulty-node scenario once per registered policy and
+  // emit one BENCH_mapper.<app>.<policy>.json artifact per cell.
+  bool mapper_matrix = false;
 
   // Default artifact names carry the app name so several benches run
   // from one directory (CI) never clobber each other's output.
@@ -209,6 +218,19 @@ struct BenchOptions {
                    "use the global-window reference policy (no adaptive "
                    "per-lane lookahead)",
                    &global_window);
+    flags.add("mapper", "=<name>",
+              "placement policy (default, balanced, adversarial, random)",
+              [this](const std::string& value, bool has_value) {
+                if (!has_value || value.empty()) return false;
+                mapper = value;
+                return true;
+              });
+    flags.add_int("mapper-seed", "<n>",
+                  "seed for the random placement policy", &mapper_seed);
+    flags.add_flag("mapper-matrix",
+                   "run the heterogeneous scenario across all policies "
+                   "and write one artifact per (app, mapper) cell",
+                   &mapper_matrix);
     flags.add("check-mutate", "=<sync-id>",
               "delete sync op <sync-id>; expect the checker to race",
               [this](const std::string& value, bool has_value) {
@@ -279,6 +301,8 @@ class Bench {
     }
     cfg.adaptive_window = !options_.global_window;
     cfg.trace_replay = options_.replay;
+    cfg.mapper.name = options_.mapper;
+    cfg.mapper.seed = static_cast<uint64_t>(options_.mapper_seed);
     return cfg;
   }
 

@@ -155,6 +155,27 @@ void compare_point(const std::string& where, const support::JsonValue& base,
   }
 }
 
+// Top-level identity keys: when the baseline carries one (BENCH_mapper
+// artifacts tag "app" and "mapper"), the current document must match —
+// diffing a stencil cell against a circuit cell, or a balanced cell
+// against an adversarial one, must read as an error, not a regression
+// table.
+void check_identity_key(const char* key, const support::JsonValue& base,
+                        const support::JsonValue& cur, DiffResult& out) {
+  const support::JsonValue* bv = base.get(key);
+  if (bv == nullptr || !bv->is_string()) return;
+  const support::JsonValue* cv = cur.get(key);
+  if (cv == nullptr || !cv->is_string()) {
+    out.errors.push_back(std::string("current run has no \"") + key +
+                         "\" (baseline: \"" + bv->str + "\")");
+    return;
+  }
+  if (cv->str != bv->str) {
+    out.errors.push_back(std::string("\"") + key + "\" mismatch: baseline \"" +
+                         bv->str + "\" vs current \"" + cv->str + "\"");
+  }
+}
+
 }  // namespace
 
 std::string DiffResult::to_text() const {
@@ -182,6 +203,8 @@ DiffResult bench_diff(const std::string& baseline_json,
     out.errors.push_back("current: " + err);
     return out;
   }
+  check_identity_key("app", base, cur, out);
+  check_identity_key("mapper", base, cur, out);
   const PointMap bp = collect_points(base, "baseline", out.errors);
   const PointMap cp = collect_points(cur, "current", out.errors);
   for (const auto& [name, pts] : bp) {

@@ -38,9 +38,8 @@ struct CostModel {
   // --- network (forwarded into sim::Network).
   sim::NetworkConfig network;
 
-  // Cores per node reserved for the runtime (Legion dedicates one; the
-  // MPI baselines set this to zero — paper §5.3).
-  uint32_t reserved_cores = 1;
+  // (Cores reserved for the runtime moved to rt::MapperOptions — the
+  // mapper owns every placement decision; see ExecConfig::mapper.)
 
   // Deterministic pseudo-random compute-time noise per point task
   // (fraction of the nominal duration). Models OS/system variability:

@@ -41,6 +41,9 @@ struct Engine::Impl {
         m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
         m_barrier_arrivals_(rt.metrics().counter("rt.barrier.arrivals")),
         m_collective_rounds_(rt.metrics().counter("rt.collective.rounds")) {
+    // Install the configured placement policy before anything queries
+    // placement (ExecConfig::mapper is the one way to configure it).
+    rt_.select_mapper(config.mapper);
     // Trace replay only makes sense where dependence analysis runs at
     // all; everywhere else the flag is an inert no-op (the SPMD legs of
     // the equivalence suites assert exactly that).
@@ -184,14 +187,30 @@ struct Engine::Impl {
   std::map<rt::RegionId, InstanceRef> root_inst_;
   std::vector<std::unique_ptr<InstanceSync>> sync_;
 
+  // Per-color work weights (subregion sizes) of a partition, cached so
+  // weight-aware mappers see a stable vector per partition. Placement
+  // queries happen only during the single-threaded unroll.
+  std::map<rt::PartitionId, std::vector<uint64_t>> part_weights_;
+  const std::vector<uint64_t>* weights_of(rt::PartitionId p) {
+    auto [it, inserted] = part_weights_.try_emplace(p);
+    if (inserted) {
+      const rt::PartitionNode& pn = forest().partition(p);
+      it->second.reserve(pn.subregions.size());
+      for (rt::RegionId r : pn.subregions) {
+        it->second.push_back(forest().region(r).ispace.size());
+      }
+    }
+    return &it->second;
+  }
+
   InstanceRef& part_instance(rt::PartitionId p, uint64_t color) {
     auto [it, inserted] = part_inst_.try_emplace({p, color});
     if (inserted) {
       const rt::PartitionNode& pn = forest().partition(p);
       CR_CHECK(color < pn.subregions.size());
       it->second.region = pn.subregions[color];
-      it->second.node =
-          rt_.mapper().node_of_color(color, pn.subregions.size());
+      it->second.node = rt_.mapper().node_of_color(
+          color, rt::LaunchShape{pn.subregions.size(), weights_of(p)});
       if (rt_.instances() != nullptr) {
         it->second.inst =
             rt_.instances()->create(it->second.region, it->second.node);
@@ -665,14 +684,14 @@ struct Engine::Impl {
     charge(main[0], cost_.single_task_issue_ns, "resume");
   }
 
+  // Which shard issues the operation for `color`: the blocked launch
+  // ownership of paper §3.5 (the same math as passes::shard_block).
+  // Deliberately NOT a mapper decision — shards own contiguous color
+  // blocks regardless of where the mapper executes the tasks, so a
+  // non-default mapper changes placement, never issue ownership.
   static uint32_t owner_shard(uint64_t color, uint64_t colors,
                               uint32_t num_shards) {
-    const uint64_t base = colors / num_shards;
-    const uint64_t rem = colors % num_shards;
-    const uint64_t cut = rem * (base + 1);
-    if (color < cut) return static_cast<uint32_t>(color / (base + 1));
-    if (base == 0) return num_shards - 1;
-    return static_cast<uint32_t>(rem + (color - cut) / base);
+    return rt::block_owner(color, colors, num_shards);
   }
 
   // --- launches --------------------------------------------------------------
@@ -705,6 +724,29 @@ struct Engine::Impl {
     }
   }
 
+  // The launch's per-color work weights for weight-aware mappers: the
+  // domain argument's subregion size at each color (through its
+  // projection). Cached per statement; the default mapper ignores
+  // weights, so this changes nothing under the legacy policy.
+  std::map<const ir::Stmt*, std::vector<uint64_t>> launch_weights_;
+  rt::LaunchShape launch_shape(const ir::Stmt& s, const ir::TaskDecl& decl) {
+    rt::LaunchShape shape{s.launch_colors, nullptr};
+    if (s.args.empty() || decl.domain_param >= s.args.size()) return shape;
+    auto [it, inserted] = launch_weights_.try_emplace(&s);
+    if (inserted) {
+      const ir::RegionArg& a = s.args[decl.domain_param];
+      const rt::PartitionNode& pn = forest().partition(a.partition);
+      it->second.reserve(s.launch_colors);
+      for (uint64_t c = 0; c < s.launch_colors; ++c) {
+        const uint64_t sub = a.proj(c);
+        CR_CHECK(sub < pn.subregions.size());
+        it->second.push_back(forest().region(pn.subregions[sub]).ispace.size());
+      }
+    }
+    shape.weights = &it->second;
+    return shape;
+  }
+
   void issue_point_task(const ir::Stmt& s, const ir::TaskDecl& decl,
                         uint64_t color, Ctx& ctx, PendingReduction* red) {
     ++result_.point_tasks;
@@ -716,7 +758,7 @@ struct Engine::Impl {
     std::vector<sim::Event> pre;
     sim::UserEvent done(sim());
     const uint32_t exec_node =
-        rt_.mapper().node_of_color(color, s.launch_colors);
+        rt_.mapper().node_of_color(color, launch_shape(s, decl));
 
     // Phase 1: bind instances and collect every precondition *before*
     // registering this task anywhere — a task passing the same region

@@ -10,6 +10,7 @@
 #include "exec/cost_model.h"
 #include "ir/program.h"
 #include "passes/pipeline.h"
+#include "rt/mapper.h"
 
 namespace cr::exec {
 
@@ -22,6 +23,12 @@ struct ExecConfig {
   passes::PipelineOptions pipeline;
   CostModel cost;
   ExecMode mode = ExecMode::kSpmd;
+
+  // Placement policy: a rt::MapperRegistry name ("default", "balanced",
+  // "adversarial", "random") plus its knobs (seed, reserved cores). The
+  // Engine installs the selected mapper on the Runtime at construction;
+  // this field is the only way to configure placement (one-struct rule).
+  rt::MapperOptions mapper;
 
   // Simulation backend: 0 = the sequential reference event loop; N >= 1
   // = the windowed multi-worker backend with N host threads (SPMD mode

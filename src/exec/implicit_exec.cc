@@ -10,7 +10,6 @@ rt::RuntimeConfig runtime_config(uint32_t nodes, uint32_t cores_per_node,
   config.machine.nodes = nodes;
   config.machine.cores_per_node = cores_per_node;
   config.network = cost.network;
-  config.mapper.reserved_cores = cost.reserved_cores;
   config.real_data = real_data;
   return config;
 }

@@ -1,5 +1,6 @@
 #include "passes/shard_creation.h"
 
+#include "rt/mapper.h"
 #include "support/check.h"
 
 namespace cr::passes {
@@ -24,13 +25,12 @@ void shard_creation(ir::Program& program, Fragment& fragment,
 }
 
 ColorRange shard_block(uint64_t colors, uint32_t num_shards, uint32_t s) {
-  CR_CHECK(s < num_shards);
-  // Even block split with the remainder on the leading shards — the same
-  // policy as Mapper::node_of_color, so shard-owned tasks are node-local.
-  const uint64_t base = colors / num_shards;
-  const uint64_t rem = colors % num_shards;
-  const uint64_t begin = s * base + std::min<uint64_t>(s, rem);
-  return ColorRange{begin, begin + base + (s < rem ? 1 : 0)};
+  // Even block split with the remainder on the leading shards — the one
+  // shared definition (rt::block_range) also backs the default mapper's
+  // node_of_color, so shard-owned tasks are node-local under the default
+  // placement policy.
+  const rt::BlockRange r = rt::block_range(colors, num_shards, s);
+  return ColorRange{r.begin, r.end};
 }
 
 }  // namespace cr::passes

@@ -1,28 +1,62 @@
 #include "rt/mapper.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/check.h"
+#include "support/hash.h"
+#include "support/log.h"
 
 namespace cr::rt {
 
-Mapper::Mapper(const sim::Machine& machine, MapperConfig config)
-    : nodes_(machine.nodes()),
-      cores_(machine.cores_per_node()),
-      reserved_(config.reserved_cores) {
-  CR_CHECK_MSG(reserved_ < cores_, "no compute cores left after reservation");
-  compute_cores_ = cores_ - reserved_;
+uint32_t block_owner(uint64_t c, uint64_t colors, uint32_t parts) {
+  CR_CHECK(c < colors && parts > 0);
+  const uint64_t base = colors / parts;
+  const uint64_t rem = colors % parts;
+  const uint64_t cut = rem * (base + 1);
+  if (c < cut) return static_cast<uint32_t>(c / (base + 1));
+  if (base == 0) return parts - 1;  // fewer colors than parts
+  return static_cast<uint32_t>(rem + (c - cut) / base);
 }
 
-uint32_t Mapper::node_of_color(uint64_t c, uint64_t num_colors) const {
-  CR_CHECK(c < num_colors);
+BlockRange block_range(uint64_t colors, uint32_t parts, uint32_t part) {
+  CR_CHECK(part < parts);
+  const uint64_t base = colors / parts;
+  const uint64_t rem = colors % parts;
+  const uint64_t begin = part * base + std::min<uint64_t>(part, rem);
+  return BlockRange{begin, begin + base + (part < rem ? 1 : 0)};
+}
+
+Mapper::Mapper(const sim::Machine& machine, const MapperOptions& options)
+    : name_(options.name),
+      nodes_(machine.nodes()),
+      cores_(machine.cores_per_node()),
+      reserved_(options.reserved_cores) {
+  if (reserved_ >= cores_) {
+    // Reserving every core would leave compute_cores_ == 0 and turn the
+    // round-robin in compute_proc into a division by zero. Clamp so at
+    // least one compute core survives (on a 1-core node the control and
+    // compute roles share core 0, as they must).
+    CR_LOG(kWarn) << "mapper: reserved_cores=" << reserved_
+                  << " >= cores_per_node=" << cores_
+                  << "; clamping to " << (cores_ - 1)
+                  << " so one compute core remains";
+    reserved_ = cores_ - 1;
+  }
+  compute_cores_ = cores_ - reserved_;
+  speeds_.reserve(nodes_);
+  for (uint32_t n = 0; n < nodes_; ++n) {
+    speeds_.push_back(machine.node_speed(n));
+  }
+}
+
+uint32_t Mapper::node_of_color(uint64_t c, const LaunchShape& shape) const {
   // Block distribution: ceil(num_colors / nodes) colors per node, leading
   // nodes take the remainder — identical to the shard blocking so
   // implicit and SPMD executions place point tasks on the same nodes.
-  const uint64_t base = num_colors / nodes_;
-  const uint64_t rem = num_colors % nodes_;
-  const uint64_t cut = rem * (base + 1);
-  if (c < cut) return static_cast<uint32_t>(c / (base + 1));
-  if (base == 0) return nodes_ - 1;  // fewer colors than nodes
-  return static_cast<uint32_t>(rem + (c - cut) / base);
+  // Weights are deliberately ignored: the default policy's placements
+  // are golden-snapshotted and must depend on num_colors alone.
+  return block_owner(c, shape.num_colors, nodes_);
 }
 
 uint32_t Mapper::shard_node(uint32_t s, uint32_t num_shards) const {
@@ -40,6 +74,172 @@ sim::ProcId Mapper::compute_proc(uint32_t node, uint64_t seq) const {
 
 sim::ProcId Mapper::control_proc(uint32_t node) const {
   return sim::ProcId{node, 0};
+}
+
+namespace {
+
+// --- balanced: speed- and weight-proportional contiguous blocks -------
+//
+// Colors stay contiguous per node (locality-preserving like the default
+// blocking) but each node's share of the total launch weight is
+// proportional to its speed factor. All arithmetic is integral — speed
+// factors are quantized to permille — so placements are bit-stable
+// across platforms and compilers.
+class BalancedMapper : public Mapper {
+ public:
+  using Mapper::Mapper;
+
+  uint32_t node_of_color(uint64_t c, const LaunchShape& shape) const override {
+    CR_CHECK(c < shape.num_colors);
+    const Cuts& cuts = cuts_for(shape);
+    // Color c sits at doubled-midpoint 2*prefix(c) + w_c; it belongs to
+    // the first node whose cumulative-target cut exceeds that point.
+    const uint64_t pos = 2 * cuts.prefix[c] + cuts.weight(shape, c);
+    const auto it =
+        std::upper_bound(cuts.node_cut.begin(), cuts.node_cut.end(), pos);
+    return static_cast<uint32_t>(
+        std::min<size_t>(it - cuts.node_cut.begin(),
+                         cuts.node_cut.size() - 1));
+  }
+
+ private:
+  struct Cuts {
+    std::vector<uint64_t> prefix;    // exclusive prefix sums of weights
+    std::vector<uint64_t> node_cut;  // doubled cumulative node targets
+    uint64_t weight(const LaunchShape& shape, uint64_t c) const {
+      return shape.weights == nullptr ? 1 : (*shape.weights)[c];
+    }
+  };
+
+  const Cuts& cuts_for(const LaunchShape& shape) const {
+    // Placements are queried only during the single-threaded unroll, so
+    // a plain memo (keyed by the caller-cached weights vector identity)
+    // is safe. The entry is a pure function of (weights, num_colors,
+    // speeds), so memoization cannot change any answer.
+    const auto key = std::make_pair(
+        reinterpret_cast<const void*>(shape.weights), shape.num_colors);
+    auto [it, inserted] = cuts_.try_emplace(key);
+    if (!inserted) return it->second;
+    Cuts& cuts = it->second;
+    cuts.prefix.resize(shape.num_colors + 1, 0);
+    for (uint64_t c = 0; c < shape.num_colors; ++c) {
+      cuts.prefix[c + 1] = cuts.prefix[c] + cuts.weight(shape, c);
+    }
+    uint64_t total = cuts.prefix[shape.num_colors];
+    if (total == 0) {
+      // Degenerate (all-empty subregions): weight every color equally.
+      cuts.prefix.assign(shape.num_colors + 1, 0);
+      for (uint64_t c = 0; c <= shape.num_colors; ++c) cuts.prefix[c] = c;
+      total = shape.num_colors;
+    }
+    uint64_t speed_total = 0;
+    std::vector<uint64_t> permille(nodes_);
+    for (uint32_t n = 0; n < nodes_; ++n) {
+      permille[n] = static_cast<uint64_t>(
+          std::llround(std::max(speeds_[n], 0.0) * 1000.0));
+      if (permille[n] == 0) permille[n] = 1;  // never starve a cut of room
+      speed_total += permille[n];
+    }
+    cuts.node_cut.resize(nodes_);
+    uint64_t cum = 0;
+    for (uint32_t n = 0; n < nodes_; ++n) {
+      cum += permille[n];
+      // Doubled so midpoints compare without fractions; the last cut is
+      // exactly 2*total, past every color's midpoint.
+      cuts.node_cut[n] = 2 * total * cum / speed_total;
+    }
+    return cuts;
+  }
+
+  mutable std::map<std::pair<const void*, uint64_t>, Cuts> cuts_;
+};
+
+// --- adversarial: worst-case clustering on the slowest node -----------
+class AdversarialMapper : public Mapper {
+ public:
+  AdversarialMapper(const sim::Machine& machine, const MapperOptions& options)
+      : Mapper(machine, options) {
+    for (uint32_t n = 1; n < nodes_; ++n) {
+      if (speeds_[n] < speeds_[hot_]) hot_ = n;
+    }
+  }
+
+  uint32_t node_of_color(uint64_t c, const LaunchShape& shape) const override {
+    CR_CHECK(c < shape.num_colors);
+    return hot_;  // every point task and instance on the slowest node
+  }
+
+ private:
+  uint32_t hot_ = 0;
+};
+
+// --- random: seeded hash placement ------------------------------------
+class RandomMapper : public Mapper {
+ public:
+  RandomMapper(const sim::Machine& machine, const MapperOptions& options)
+      : Mapper(machine, options), seed_(options.seed) {}
+
+  uint32_t node_of_color(uint64_t c, const LaunchShape& shape) const override {
+    CR_CHECK(c < shape.num_colors);
+    // Depends on (seed, color, num_colors) only, so a launch and its
+    // identically-shaped partition instances agree on placement.
+    const uint64_t h = support::hash_mix(
+        support::hash_mix(seed_ ^ 0x6d61707065727321ull) ^
+        (c * 0x9e3779b97f4a7c15ull) ^ shape.num_colors);
+    return static_cast<uint32_t>(h % nodes_);
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace
+
+MapperRegistry& MapperRegistry::instance() {
+  static MapperRegistry* reg = [] {
+    auto* r = new MapperRegistry();
+    r->register_policy("default", [](const sim::Machine& m,
+                                     const MapperOptions& o) {
+      return std::make_unique<Mapper>(m, o);
+    });
+    r->register_policy("balanced", [](const sim::Machine& m,
+                                      const MapperOptions& o) {
+      return std::make_unique<BalancedMapper>(m, o);
+    });
+    r->register_policy("adversarial", [](const sim::Machine& m,
+                                         const MapperOptions& o) {
+      return std::make_unique<AdversarialMapper>(m, o);
+    });
+    r->register_policy("random", [](const sim::Machine& m,
+                                    const MapperOptions& o) {
+      return std::make_unique<RandomMapper>(m, o);
+    });
+    return r;
+  }();
+  return *reg;
+}
+
+void MapperRegistry::register_policy(const std::string& name,
+                                     Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Mapper> MapperRegistry::create(
+    const sim::Machine& machine, const MapperOptions& options) const {
+  auto it = factories_.find(options.name);
+  if (it == factories_.end()) {
+    std::string msg = "unknown mapper \"" + options.name + "\"; registered:";
+    for (const auto& [n, f] : factories_) msg += " " + n;
+    CR_CHECK_MSG(false, msg.c_str());
+  }
+  return it->second(machine, options);
+}
+
+std::vector<std::string> MapperRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
 }
 
 }  // namespace cr::rt

@@ -10,6 +10,11 @@ Runtime::Runtime(RuntimeConfig config)
       deps_(forest_),
       copies_(network_, forest_,
               config.real_data ? &instances_ : nullptr),
-      mapper_(std::make_unique<Mapper>(machine_, config.mapper)) {}
+      mapper_(MapperRegistry::instance().create(machine_, MapperOptions{})) {}
+
+Mapper& Runtime::select_mapper(const MapperOptions& options) {
+  mapper_ = MapperRegistry::instance().create(machine_, options);
+  return *mapper_;
+}
 
 }  // namespace cr::rt

@@ -22,7 +22,6 @@ namespace cr::rt {
 struct RuntimeConfig {
   sim::MachineConfig machine;
   sim::NetworkConfig network;
-  MapperConfig mapper;
   // When true, physical instances are allocated and kernels/copies move
   // real data (correctness runs). When false, only virtual time advances
   // (scalability sweeps at sizes where materializing data is pointless).
@@ -41,6 +40,11 @@ class Runtime {
   DependenceTracker& deps() { return deps_; }
   CopyEngine& copies() { return copies_; }
   Mapper& mapper() { return *mapper_; }
+  // Install the named placement policy (MapperRegistry) as the active
+  // mapper. Called by the Engine at construction from ExecConfig::mapper
+  // — the one way to configure placement. A fresh Runtime starts with
+  // the default policy.
+  Mapper& select_mapper(const MapperOptions& options);
   support::MetricsRegistry& metrics() { return metrics_; }
 
   bool real_data() const { return config_.real_data; }

@@ -1,18 +1,43 @@
 #include "sim/machine.h"
 
+#include <utility>
+
 #include "sim/simulator.h"
 #include "support/check.h"
 
 namespace cr::sim {
 
-Machine::Machine(Simulator& sim, MachineConfig config) : config_(config) {
-  CR_CHECK(config.nodes > 0 && config.cores_per_node > 0);
-  procs_.reserve(static_cast<size_t>(config.nodes) * config.cores_per_node);
-  for (uint32_t n = 0; n < config.nodes; ++n) {
-    for (uint32_t c = 0; c < config.cores_per_node; ++c) {
-      procs_.push_back(std::make_unique<Processor>(sim, ProcId{n, c}));
+Machine::Machine(Simulator& sim, MachineConfig config)
+    : config_(std::move(config)) {
+  CR_CHECK(config_.nodes > 0 && config_.cores_per_node > 0);
+  CR_CHECK_MSG(config_.node_speed.empty() ||
+                   config_.node_speed.size() == config_.nodes,
+               "node_speed must be empty or have one entry per node");
+  perf_.resize(config_.nodes);
+  for (uint32_t n = 0; n < config_.nodes; ++n) {
+    if (!config_.node_speed.empty()) {
+      CR_CHECK_MSG(config_.node_speed[n] > 0, "node_speed must be positive");
+      perf_[n].speed = config_.node_speed[n];
     }
   }
+  for (const MachineConfig::NodeSlowdown& s : config_.slowdowns) {
+    CR_CHECK(s.node < config_.nodes && s.begin <= s.end);
+    CR_CHECK_MSG(s.factor >= 1.0,
+                 "slowdown factors must be >= 1 (scenarios only add delay)");
+    perf_[s.node].slowdowns.push_back({s.begin, s.end, s.factor});
+  }
+  procs_.reserve(static_cast<size_t>(config_.nodes) * config_.cores_per_node);
+  for (uint32_t n = 0; n < config_.nodes; ++n) {
+    for (uint32_t c = 0; c < config_.cores_per_node; ++c) {
+      procs_.push_back(
+          std::make_unique<Processor>(sim, ProcId{n, c}, &perf_[n]));
+    }
+  }
+}
+
+double Machine::node_speed(uint32_t node) const {
+  CR_CHECK(node < config_.nodes);
+  return perf_[node].speed;
 }
 
 Processor& Machine::proc(uint32_t node, uint32_t core) {

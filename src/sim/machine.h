@@ -16,6 +16,22 @@ class Simulator;
 struct MachineConfig {
   uint32_t nodes = 1;
   uint32_t cores_per_node = 12;
+
+  // --- scenario knobs (heterogeneous / faulty machines) ---------------
+  // Relative per-node speed factors (1.0 = nominal). Empty = homogeneous;
+  // otherwise must have exactly `nodes` entries. Mappers read these via
+  // Machine::node_speed / Mapper::node_speed.
+  std::vector<double> node_speed = {};
+  // Injected transient slowdowns: during [begin, end) in virtual time,
+  // work starting on `node`'s cores runs `factor`x longer. Deterministic
+  // and replay-stable under any worker count (see sim::SlowdownWindow).
+  struct NodeSlowdown {
+    uint32_t node = 0;
+    Time begin = 0;
+    Time end = 0;
+    double factor = 1.0;
+  };
+  std::vector<NodeSlowdown> slowdowns = {};
 };
 
 class Machine {
@@ -24,6 +40,8 @@ class Machine {
 
   uint32_t nodes() const { return config_.nodes; }
   uint32_t cores_per_node() const { return config_.cores_per_node; }
+  // Speed factor of `node` (1.0 when the config left node_speed empty).
+  double node_speed(uint32_t node) const;
 
   Processor& proc(uint32_t node, uint32_t core);
   Processor& proc(ProcId id) { return proc(id.node, id.core); }
@@ -33,6 +51,9 @@ class Machine {
 
  private:
   MachineConfig config_;
+  // One NodePerf per node, built before the processors that point at it
+  // and never resized afterwards (stable addresses).
+  std::vector<NodePerf> perf_;
   std::vector<std::unique_ptr<Processor>> procs_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/hash.h"
 #include "support/trace.h"
 
 namespace cr::sim {
@@ -71,7 +72,8 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
       const Time serial = serialization_time(bytes, config_.bandwidth_gbps);
       const Time inject = std::max(ready, nic_free_[src]);
       nic_free_[src] = inject + serial;
-      arrive = inject + serial + config_.latency_ns + config_.am_handler_ns;
+      arrive = inject + serial + config_.latency_ns + config_.am_handler_ns +
+               handler_jitter(delivered_uid);
       if (t != nullptr) {
         // NIC busy interval: injection serialization only; wire latency
         // and handler time show up as a gap before the consumer starts.
@@ -105,6 +107,18 @@ Event Network::send(uint32_t src, uint32_t dst, uint64_t bytes,
     if (src != dst) sim_->note_cross_send_fired(src);
   });
   return delivered.event();
+}
+
+Time Network::handler_jitter(uint64_t delivered_uid) const {
+  if (config_.am_jitter_ns == 0) return 0;
+  // Pure function of the delivery event's uid (assigned during the
+  // single-threaded unroll) and the configured seed: bit-identical under
+  // any --workers=N. Always >= 0, so min_cross_node_delay remains the
+  // true lower bound on cross-node influence.
+  const uint64_t h = support::hash_mix(
+      delivered_uid ^ (config_.jitter_seed * 0x9e3779b97f4a7c15ull) ^
+      0x616d6a69747465ull);
+  return static_cast<Time>(h % (config_.am_jitter_ns + 1));
 }
 
 Time Network::transfer_time(uint64_t bytes) const {

@@ -28,6 +28,15 @@ struct NetworkConfig {
   double bandwidth_gbps = 10.0;        // per-NIC injection bandwidth (GB/s)
   double mem_bandwidth_gbps = 50.0;    // intra-node copy bandwidth (GB/s)
   Time am_handler_ns = 300;            // active-message handler cost
+  // Scenario knob: deterministic per-message AM-handler jitter in
+  // [0, am_jitter_ns], hashed from the delivery event's uid (allocated
+  // at the unroll-time send() call, so identical under any worker
+  // count). Strictly additive — min_cross_node_delay stays a sound
+  // conservative lookahead. The analytic helpers (transfer_time,
+  // tree_latency) stay unjittered: they model dedicated collective
+  // hardware, not per-message handler scheduling.
+  Time am_jitter_ns = 0;
+  uint64_t jitter_seed = 0;
 };
 
 class Network {
@@ -44,6 +53,10 @@ class Network {
   Event send(uint32_t src, uint32_t dst, uint64_t bytes, Event precondition,
              std::function<void()> on_delivery = nullptr,
              std::function<void()> on_inject = nullptr);
+
+  // Deterministic extra AM-handler delay for one delivery (0 unless the
+  // config enables am_jitter_ns). Exposed for tests.
+  Time handler_jitter(uint64_t delivered_uid) const;
 
   // Virtual duration of moving `bytes` across the wire (latency + serial).
   Time transfer_time(uint64_t bytes) const;

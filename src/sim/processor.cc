@@ -31,9 +31,14 @@ Event Processor::spawn(Event precondition, Time duration,
                    "processor spawn picked up on a foreign node's worker");
     }
     const Time start = std::max(ready, next_free_);
-    const Time end = start + duration;
+    // Scenario scaling (heterogeneous speed, injected slowdowns): a pure
+    // function of the virtual start time, so the effective duration is
+    // identical under every worker count.
+    const Time eff = perf_ != nullptr ? perf_->scale(start, duration)
+                                      : duration;
+    const Time end = start + eff;
     next_free_ = end;
-    busy_ += duration;
+    busy_ += eff;
     if (support::Tracer* t = sim_->tracer()) {
       const support::SpanId span = t->add_span(
           id_.node, id_.core, tag.category,

@@ -5,9 +5,11 @@
 // time.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/event.h"
 #include "support/trace.h"
@@ -22,9 +24,41 @@ struct ProcId {
   friend bool operator==(const ProcId&, const ProcId&) = default;
 };
 
+// A virtual-time interval during which a node's cores run slower
+// (an injected transient fault / interference burst). An item whose
+// *start* falls inside [begin, end) has its duration multiplied by
+// `factor` (>= 1: scenarios may only slow work down — speedups would
+// have to prove they cannot shrink the cross-node lookahead).
+struct SlowdownWindow {
+  Time begin = 0;
+  Time end = 0;
+  double factor = 1.0;
+};
+
+// Per-node performance scenario: a static speed factor (heterogeneous
+// machines; 1.0 = nominal, 0.5 = half speed) plus injected slowdown
+// windows. Durations are scaled deterministically from virtual times
+// only, so every worker count replays the same timeline.
+struct NodePerf {
+  double speed = 1.0;
+  std::vector<SlowdownWindow> slowdowns;
+
+  Time scale(Time start, Time duration) const {
+    if (duration == 0) return 0;
+    double d = static_cast<double>(duration);
+    if (speed != 1.0 && speed > 0.0) d /= speed;
+    for (const SlowdownWindow& w : slowdowns) {
+      if (start >= w.begin && start < w.end) d *= w.factor;
+    }
+    const auto out = static_cast<Time>(std::llround(d));
+    return out == 0 ? 1 : out;  // scaled nonzero work never becomes free
+  }
+};
+
 class Processor {
  public:
-  Processor(Simulator& sim, ProcId id) : sim_(&sim), id_(id) {}
+  Processor(Simulator& sim, ProcId id, const NodePerf* perf = nullptr)
+      : sim_(&sim), id_(id), perf_(perf) {}
 
   ProcId id() const { return id_; }
 
@@ -47,6 +81,7 @@ class Processor {
  private:
   Simulator* sim_;
   ProcId id_;
+  const NodePerf* perf_;  // null = nominal speed, no slowdowns
   Time next_free_ = 0;
   Time busy_ = 0;
 };

@@ -22,7 +22,6 @@ struct Fixture {
                                      .bandwidth_gbps = 1.0,
                                      .mem_bandwidth_gbps = 10.0,
                                      .am_handler_ns = 0},
-                         .mapper = {.reserved_cores = 1},
                          .real_data = true}) {
     v = fs->add_field("v");
     r = rt.forest().create_region(IndexSpace::dense(100), fs);
@@ -147,10 +146,33 @@ TEST(Mapper, ComputeProcsAvoidReservedCore) {
 TEST(Mapper, NoReservationUsesAllCores) {
   sim::Simulator sim;
   sim::Machine machine(sim, {.nodes = 1, .cores_per_node = 4});
-  Mapper m(machine, MapperConfig{.reserved_cores = 0});
+  Mapper m(machine, MapperOptions{.reserved_cores = 0});
   EXPECT_EQ(m.compute_cores_per_node(), 4u);
   EXPECT_EQ(m.compute_proc(0, 0).core, 0u);
   EXPECT_EQ(m.compute_proc(0, 5).core, 1u);
+}
+
+// Regression: cores == reserved_cores used to leave compute_cores_ == 0
+// and divide by zero in compute_proc's round-robin. The constructor now
+// clamps the reservation so at least one compute core survives.
+TEST(Mapper, SingleCoreNodeClampsReservation) {
+  sim::Simulator sim;
+  sim::Machine machine(sim, {.nodes = 2, .cores_per_node = 1});
+  Mapper m(machine, MapperOptions{.reserved_cores = 1});
+  EXPECT_EQ(m.compute_cores_per_node(), 1u);
+  for (uint64_t seq = 0; seq < 3; ++seq) {
+    EXPECT_EQ(m.compute_proc(1, seq).core, 0u);  // no div/mod by zero
+    EXPECT_EQ(m.compute_proc(1, seq).node, 1u);
+  }
+  EXPECT_EQ(m.control_proc(0).core, 0u);
+}
+
+TEST(Mapper, OverReservationClampsToOneComputeCore) {
+  sim::Simulator sim;
+  sim::Machine machine(sim, {.nodes = 1, .cores_per_node = 3});
+  Mapper m(machine, MapperOptions{.reserved_cores = 7});
+  EXPECT_EQ(m.compute_cores_per_node(), 1u);
+  EXPECT_EQ(m.compute_proc(0, 4).core, 2u);  // the one surviving core
 }
 
 TEST(Mapper, FewerColorsThanNodes) {

@@ -136,5 +136,35 @@ TEST(Network, SubNanosecondRemoteSendsStillOccupyTheNic) {
   EXPECT_EQ(d2.trigger_time(), 1002u);  // queued behind the first
 }
 
+TEST(Network, HandlerJitterIsDeterministicAndBounded) {
+  Simulator sim;
+  NetworkConfig c = test_config();
+  c.am_jitter_ns = 200;
+  c.jitter_seed = 7;
+  Network net(sim, 2, c);
+  Network net2(sim, 2, c);
+  for (uint64_t uid = 0; uid < 64; ++uid) {
+    const Time j = net.handler_jitter(uid);
+    EXPECT_LE(j, 200u);
+    EXPECT_EQ(j, net2.handler_jitter(uid));  // pure function of (seed, uid)
+  }
+  Network off(sim, 2, test_config());
+  EXPECT_EQ(off.handler_jitter(5), 0u);  // disabled by default
+}
+
+TEST(Network, JitterOnlyAddsDelay) {
+  NetworkConfig c = test_config();
+  c.am_jitter_ns = 200;
+  Simulator sim;
+  Network net(sim, 2, c);
+  Event d = net.send(0, 1, 500, Event());
+  sim.run();
+  // Jitter is strictly additive on top of the analytic arrival, so the
+  // conservative lookahead bound stays sound.
+  EXPECT_GE(d.trigger_time(), 1500u);
+  EXPECT_LE(d.trigger_time(), 1700u);
+  EXPECT_EQ(net.min_cross_node_delay(), 1000u);
+}
+
 }  // namespace
 }  // namespace cr::sim

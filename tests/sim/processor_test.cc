@@ -85,5 +85,50 @@ TEST(Processor, ZeroDurationCompletesAtReadyTime) {
   EXPECT_EQ(done.trigger_time(), 7u);
 }
 
+TEST(Processor, NodePerfScalesDurations) {
+  Simulator sim;
+  NodePerf perf;
+  perf.speed = 0.5;  // half-speed node: everything takes twice as long
+  Processor p(sim, {0, 0}, &perf);
+  Event a = p.spawn(Event(), 100);
+  sim.run();
+  EXPECT_EQ(a.trigger_time(), 200u);
+  EXPECT_EQ(p.busy_time(), 200u);
+}
+
+TEST(Processor, SlowdownWindowAppliesByStartTime) {
+  Simulator sim;
+  NodePerf perf;
+  perf.slowdowns.push_back({/*begin=*/0, /*end=*/100, /*factor=*/3.0});
+  Processor p(sim, {0, 0}, &perf);
+  Event a = p.spawn(Event(), 50);  // starts at 0, inside: 150 ns
+  Event b = p.spawn(Event(), 50);  // starts at 150, outside: 50 ns
+  sim.run();
+  EXPECT_EQ(a.trigger_time(), 150u);
+  EXPECT_EQ(b.trigger_time(), 200u);
+}
+
+TEST(Processor, ScaledWorkNeverRoundsToZero) {
+  Simulator sim;
+  NodePerf perf;
+  perf.speed = 1000.0;  // 1 ns of work would round to 0: clamps to 1
+  Processor p(sim, {0, 0}, &perf);
+  Event a = p.spawn(Event(), 1);
+  sim.run();
+  EXPECT_EQ(a.trigger_time(), 1u);
+}
+
+TEST(Machine, NodeSpeedsReachProcessors) {
+  Simulator sim;
+  Machine m(sim, {.nodes = 2, .cores_per_node = 1, .node_speed = {1.0, 0.5}});
+  EXPECT_EQ(m.node_speed(0), 1.0);
+  EXPECT_EQ(m.node_speed(1), 0.5);
+  Event fast = m.proc(0, 0).spawn(Event(), 100);
+  Event slow = m.proc(1, 0).spawn(Event(), 100);
+  sim.run();
+  EXPECT_EQ(fast.trigger_time(), 100u);
+  EXPECT_EQ(slow.trigger_time(), 200u);
+}
+
 }  // namespace
 }  // namespace cr::sim

@@ -8,10 +8,17 @@
 //       [--host=<pct>]             gate "host."-prefixed wall-clock
 //                                  metrics at this (looser) threshold
 //       [--metric=<name>:<pct>]    per-metric threshold (repeatable)
+//       [--matrix]                 treat the two paths as DIRECTORIES:
+//                                  diff every *.json in the baseline dir
+//                                  against the same filename in the
+//                                  current dir (the mapper-matrix gate)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "exec/bench_diff.h"
 
@@ -20,9 +27,48 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--makespan=<pct>] "
-               "[--all=<pct>] [--host=<pct>] [--metric=<name>:<pct>]\n",
+               "[--all=<pct>] [--host=<pct>] [--metric=<name>:<pct>] "
+               "[--matrix]\n",
                argv0);
   return 2;
+}
+
+// --matrix: every *.json in `baseline_dir` must exist under the same
+// name in `current_dir` and pass the diff. Extra files in the current
+// dir are ignored (new cells become gates once committed as baselines).
+int diff_matrix(const std::string& baseline_dir,
+                const std::string& current_dir,
+                const cr::exec::DiffOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& e :
+       fs::directory_iterator(baseline_dir, ec)) {
+    if (e.path().extension() == ".json") {
+      names.push_back(e.path().filename().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read directory %s: %s\n",
+                 baseline_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "no *.json baselines in %s\n", baseline_dir.c_str());
+    return 1;
+  }
+  std::sort(names.begin(), names.end());
+  int failures = 0;
+  for (const std::string& name : names) {
+    std::printf("=== %s ===\n", name.c_str());
+    const cr::exec::DiffResult result = cr::exec::bench_diff_files(
+        (fs::path(baseline_dir) / name).string(),
+        (fs::path(current_dir) / name).string(), options);
+    std::fputs(result.to_text().c_str(), stdout);
+    if (!result.ok()) ++failures;
+  }
+  std::printf("matrix: %d of %zu cells failed\n", failures, names.size());
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -30,9 +76,12 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   cr::exec::DiffOptions options;
   std::string baseline, current;
+  bool matrix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--makespan=", 0) == 0) {
+    if (arg == "--matrix") {
+      matrix = true;
+    } else if (arg.rfind("--makespan=", 0) == 0) {
       options.makespan_pct = std::atof(arg.c_str() + std::strlen("--makespan="));
     } else if (arg.rfind("--all=", 0) == 0) {
       options.all_pct = std::atof(arg.c_str() + std::strlen("--all="));
@@ -55,6 +104,7 @@ int main(int argc, char** argv) {
     }
   }
   if (baseline.empty() || current.empty()) return usage(argv[0]);
+  if (matrix) return diff_matrix(baseline, current, options);
 
   const cr::exec::DiffResult result =
       cr::exec::bench_diff_files(baseline, current, options);
