@@ -185,11 +185,25 @@ struct BenchOptions {
   // heterogeneous/faulty-node scenario once per registered policy and
   // emit one BENCH_mapper.<app>.<policy>.json artifact per cell.
   bool mapper_matrix = false;
+  // --host-trace[=<path>]: host-phase profiling of the windowed backend
+  // (requires --workers >= 1 to have any effect). Writes a second Chrome
+  // trace of the host timeline at <path> plus the HOST_phases report
+  // (host_report_path) that tools/window_report consumes. Host-side
+  // only: virtual results are bit-identical either way. Empty = off.
+  std::string host_trace_path;
+  // --host-report=<path>: where the HOST_phases JSON goes (defaults to
+  // HOST_phases.<app>.json; only written when --host-trace is on).
+  std::string host_report_path;
+  // --watchdog=<ms>: stall watchdog for the windowed backend — abort
+  // with a flight-recorder dump if no execution progress for this many
+  // wall milliseconds (0 = off).
+  int64_t watchdog_ms = 0;
 
   // Default artifact names carry the app name so several benches run
   // from one directory (CI) never clobber each other's output.
   void register_flags(FlagSet& flags, const std::string& app) {
     analysis_path = "BENCH_analysis." + app + ".json";
+    host_report_path = "HOST_phases." + app + ".json";
     flags.add_string("trace", "<path>",
                      "write Chrome trace JSON + breakdown per run",
                      &trace_path, "trace." + app + ".json");
@@ -218,6 +232,21 @@ struct BenchOptions {
                    "use the global-window reference policy (no adaptive "
                    "per-lane lookahead)",
                    &global_window);
+    flags.add_string("host-trace", "<path>",
+                     "host-phase profile of the windowed backend "
+                     "(Chrome trace + HOST_phases report)",
+                     &host_trace_path, "host_trace." + app + ".json");
+    flags.add("host-report", "=<path>",
+              "HOST_phases JSON path (with --host-trace)",
+              [this](const std::string& value, bool has_value) {
+                if (!has_value || value.empty()) return false;
+                host_report_path = value;
+                return true;
+              });
+    flags.add_int("watchdog", "<ms>",
+                  "stall watchdog budget for the windowed backend "
+                  "(0 = off)",
+                  &watchdog_ms);
     flags.add("mapper", "=<name>",
               "placement policy (default, balanced, adversarial, random)",
               [this](const std::string& value, bool has_value) {
@@ -298,6 +327,10 @@ class Bench {
     if (mode == exec::ExecMode::kSpmd && options_.workers > 0) {
       cfg.workers = static_cast<uint32_t>(options_.workers);
       cfg.pin_workers = options_.pin;
+      cfg.host_profile = !options_.host_trace_path.empty();
+      if (options_.watchdog_ms > 0) {
+        cfg.watchdog_ms = static_cast<uint64_t>(options_.watchdog_ms);
+      }
     }
     cfg.adaptive_window = !options_.global_window;
     cfg.trace_replay = options_.replay;
@@ -314,6 +347,19 @@ class Bench {
     if (options_.selftime) {
       last_analysis_.valid = true;
       last_analysis_.stats = r.analysis;
+    }
+    if (r.host_profile != nullptr && !options_.host_trace_path.empty()) {
+      // With repeated runs of one configuration the last (largest)
+      // windowed run wins, matching the trace/metrics artifact policy.
+      r.host_profile->write_chrome_json(options_.host_trace_path);
+      r.host_profile->write_json(options_.host_report_path, app_);
+      std::fprintf(stderr,
+                   "  host phases: %s (serial fraction %.3f over %llu "
+                   "windows), trace: %s\n",
+                   options_.host_report_path.c_str(),
+                   r.host_profile->serial_fraction,
+                   (unsigned long long)r.host_profile->windows,
+                   options_.host_trace_path.c_str());
     }
     if (!options_.metrics_path.empty()) {
       last_metrics_.valid = true;

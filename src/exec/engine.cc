@@ -36,6 +36,8 @@ struct Engine::Impl {
         workers_(config.workers),
         adaptive_window_(config.adaptive_window),
         pin_workers_(config.pin_workers),
+        host_profile_(config.host_profile),
+        watchdog_ms_(config.watchdog_ms),
         check_(config.check),
         mutant_(config.check_mutate),
         m_barrier_gens_(rt.metrics().counter("rt.barrier.generations")),
@@ -1461,6 +1463,8 @@ struct Engine::Impl {
   const uint32_t workers_;      // 0 = sequential loop, N = windowed backend
   const bool adaptive_window_;  // per-lane horizons vs global reference
   const bool pin_workers_;      // topology-pin the backend's host threads
+  const bool host_profile_;     // host-phase spans on the windowed run
+  const uint64_t watchdog_ms_;  // stall watchdog budget (0 = off)
   const bool check_;            // record accesses + HB graph, run checker
   const ir::SyncId mutant_;     // sync op deleted by fault injection
   // Cached registry counters bumped during unroll (avoids the by-name
@@ -1615,6 +1619,12 @@ ExecutionResult Engine::run() {
     impl_->sim().set_event_graph(&impl_->graph_);
   }
   const uint32_t workers = impl_->workers_;
+  // Host-phase profiler: lives for the duration of this run only; the
+  // simulator records spans into it and the aggregate lands on the
+  // result. Wall-clock observation only — attach/detach cannot affect
+  // virtual time (equivalence-tested).
+  support::HostProfiler host_prof;
+  bool profiling = false;
   if (workers > 0) {
     CR_CHECK_MSG(impl_->mode_ == ExecMode::kSpmd,
                  "the multi-worker backend requires SPMD mode");
@@ -1632,12 +1642,30 @@ ExecutionResult Engine::run() {
       // the backend's threads across distinct physical cores.
       s.set_worker_cpus(support::CpuTopology::probe().plan(workers));
     }
+    if (impl_->host_profile_) {
+      s.set_host_profiler(&host_prof);
+      profiling = true;
+    }
+    if (impl_->watchdog_ms_ > 0) {
+      sim::Simulator::WatchdogOptions wd;
+      wd.budget_ms = impl_->watchdog_ms_;
+      s.set_watchdog(std::move(wd));
+    }
   }
   impl_->unroll();
   impl_->result_.makespan_ns =
       (workers > 0 ? impl_->sim().run_windowed(workers)
                    : impl_->sim().run()) -
       run_start;
+  if (workers > 0) {
+    sim::Simulator& s = impl_->sim();
+    if (profiling) {
+      s.set_host_profiler(nullptr);
+      impl_->result_.host_profile =
+          std::make_shared<support::HostProfile>(host_prof.profile());
+    }
+    if (impl_->watchdog_ms_ > 0) s.set_watchdog({});
+  }
   if (impl_->live_ops_->count != 0) {
     std::string msg = "execution did not quiesce; stuck ops:";
     int shown = 0;

@@ -66,6 +66,15 @@ struct ExecConfig {
   // analysis-neutrality tests).
   bool trace = false;  // record the timeline (Engine::write_trace)
   bool check = false;  // record accesses + HB graph, run the race checker
+  // Host-phase profiler for the windowed backend (workers >= 1 only):
+  // per-worker per-window wall-clock spans, aggregated on
+  // ExecutionResult::host_profile (never into the bit-stable metrics
+  // snapshot — these are wall-clock quantities). See support/host_clock.h.
+  bool host_profile = false;
+  // Stall watchdog budget for the windowed backend: abort with a
+  // flight-recorder dump if no execution progress for this many wall
+  // milliseconds (0 = disabled). See Simulator::WatchdogOptions.
+  uint64_t watchdog_ms = 0;
   // Fault injection for the checker: delete/weaken the sync op with this
   // id (see ir::SyncId) — the mutant run must then report a race.
   ir::SyncId check_mutate = ir::kNoSyncId;

@@ -1,6 +1,9 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <utility>
@@ -39,6 +42,10 @@ Simulator::~Simulator() {
     for (std::thread& t : threads_) {
       if (t.joinable()) t.join();
     }
+  }
+  if (wd_thread_.joinable()) {
+    wd_quit_.store(true, std::memory_order_release);
+    wd_thread_.join();
   }
 }
 
@@ -423,14 +430,32 @@ void Simulator::execute(const Entry& e, uint32_t affinity,
   ++*processed;
   if (e.time > *max_time) *max_time = e.time;
   pending_windowed_.fetch_sub(1, std::memory_order_relaxed);
+  if (wd_enabled_.load(std::memory_order_relaxed)) {
+    // Flight recorder: last-executed state per worker, plus the
+    // liveness heartbeat the monitor thread watches. Relaxed stores —
+    // the monitor only needs internally-valid snapshots.
+    const uint32_t w = tls_.worker;
+    wd_worker_uid_[w].store(e.cause, std::memory_order_relaxed);
+    wd_worker_time_[w].store(e.time, std::memory_order_relaxed);
+    wd_worker_win_[w].store(windows_, std::memory_order_relaxed);
+    wd_heartbeat_.fetch_add(1, std::memory_order_relaxed);
+  }
   e.fn();
   tls_.cause = 0;
+}
+
+void Simulator::prof_mark(uint32_t worker, uint64_t window,
+                          support::HostPhase phase) {
+  const uint64_t t = support::host_now_ns();
+  host_prof_->record(worker, window, phase, prof_cursor_[worker], t);
+  prof_cursor_[worker] = t;
 }
 
 void Simulator::process_nodes(uint32_t worker, uint64_t* processed,
                               Time* max_time) {
   support::Tracer* tracer = tracer_;
   for (uint32_t n = lane_lo_[worker]; n < lane_hi_[worker]; ++n) {
+    if (test_lane_hook_) test_lane_hook_(n, windows_ - 1);
     Queue& q = node_q_[n];
     const Time window_end = win_end_lane_[n];
     if (q.empty() || q.top().time >= window_end) continue;
@@ -448,7 +473,13 @@ void Simulator::process_nodes(uint32_t worker, uint64_t* processed,
     tls_.owner = nullptr;
     tls_.affinity = kNoAffinity;
   }
+  if (host_prof_ != nullptr) {
+    prof_mark(worker, windows_ - 1, support::HostPhase::kLaneDrain);
+  }
   flush_outbox(worker);
+  if (host_prof_ != nullptr) {
+    prof_mark(worker, windows_ - 1, support::HostPhase::kOutboxFlush);
+  }
 }
 
 void Simulator::worker_main(uint32_t worker) {
@@ -460,9 +491,19 @@ void Simulator::worker_main(uint32_t worker) {
   for (;;) {
     seen = barrier_.await_release(seen);
     if (quit_.load(std::memory_order_acquire)) return;
+    // windows_ was bumped by compute_window_ends before this release and
+    // is stable until every worker arrives; the release/acquire pair
+    // publishes it, so windows_ - 1 is this window's index.
+    const uint64_t win = windows_ - 1;
+    if (host_prof_ != nullptr) {
+      prof_mark(worker, win, support::HostPhase::kBarrierWait);
+    }
     process_nodes(worker, &worker_processed_[worker],
                   &worker_max_time_[worker]);
     barrier_.arrive(worker - 1, seen);
+    if (host_prof_ != nullptr) {
+      prof_mark(worker, win, support::HostPhase::kBarrierWake);
+    }
   }
 }
 
@@ -506,6 +547,38 @@ Time Simulator::run_windowed(uint32_t workers) {
   quit_.store(false, std::memory_order_release);
   barrier_.init(num_workers_ - 1);
   epoch_seq_ = 0;
+
+  // Host-phase profiler: begin before the workers spawn so every lane's
+  // first span starts at the shared origin.
+  if (host_prof_ != nullptr) {
+    host_prof_->begin(num_workers_);
+    prof_cursor_.assign(num_workers_, host_prof_->origin_ns());
+  }
+  // Stall watchdog: allocate the flight-recorder slots, then start the
+  // monitor. wd_enabled_ gates every recorder store in the hot path.
+  if (wd_opts_.budget_ms > 0) {
+    wd_lane_front_ = std::make_unique<std::atomic<uint64_t>[]>(nodes_);
+    wd_lane_winend_ = std::make_unique<std::atomic<uint64_t>[]>(nodes_);
+    wd_worker_uid_ = std::make_unique<std::atomic<uint64_t>[]>(num_workers_);
+    wd_worker_time_ = std::make_unique<std::atomic<uint64_t>[]>(num_workers_);
+    wd_worker_win_ = std::make_unique<std::atomic<uint64_t>[]>(num_workers_);
+    for (uint32_t n = 0; n < nodes_; ++n) {
+      wd_lane_front_[n].store(kInfTime, std::memory_order_relaxed);
+      wd_lane_winend_[n].store(0, std::memory_order_relaxed);
+    }
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      wd_worker_uid_[w].store(0, std::memory_order_relaxed);
+      wd_worker_time_[w].store(0, std::memory_order_relaxed);
+      wd_worker_win_[w].store(0, std::memory_order_relaxed);
+    }
+    wd_heartbeat_.store(0, std::memory_order_relaxed);
+    wd_window_.store(0, std::memory_order_relaxed);
+    wd_fired_.store(false, std::memory_order_relaxed);
+    wd_quit_.store(false, std::memory_order_release);
+    wd_enabled_.store(true, std::memory_order_release);
+    wd_thread_ = std::thread([this] { watchdog_main(); });
+  }
+
   for (uint32_t w = 1; w < num_workers_; ++w) {
     threads_.emplace_back([this, w] { worker_main(w); });
   }
@@ -513,6 +586,9 @@ Time Simulator::run_windowed(uint32_t workers) {
   uint64_t serial_processed = 0;
   Time serial_max_time = 0;
   for (;;) {
+    // windows_ counts completed compute_window_ends calls, so at the top
+    // of an iteration it is the index of the window being planned.
+    const uint64_t win = windows_;
     drain_inboxes();
     // Serial phase: global entries (barrier fan-ins and releases, merge
     // completions) run strictly before any node entry at or after their
@@ -520,6 +596,10 @@ Time Simulator::run_windowed(uint32_t workers) {
     // are parked — so the frontier is recomputed as they run (the heap
     // makes each recomputation O(log nodes) amortized).
     Time node_min = node_min_time();
+    if (host_prof_ != nullptr) {
+      prof_mark(0, win, support::HostPhase::kPlan);
+    }
+    uint64_t serial_before = serial_processed;
     while (!global_q_.empty() && global_q_.top().time <= node_min) {
       auto& top = const_cast<Entry&>(global_q_.top());
       Entry e{top.time, top.seq, top.cause, top.creator, std::move(top.fn)};
@@ -532,6 +612,9 @@ Time Simulator::run_windowed(uint32_t workers) {
       if (tracer != nullptr) support::Tracer::set_thread_lane(-1);
       tls_.owner = nullptr;
       node_min = node_min_time();
+    }
+    if (host_prof_ != nullptr && serial_processed != serial_before) {
+      prof_mark(0, win, support::HostPhase::kSerialDrain);
     }
     if (node_min == kInfTime) {
       CR_CHECK(global_q_.empty());
@@ -548,20 +631,55 @@ Time Simulator::run_windowed(uint32_t workers) {
         pending_windowed_.load(std::memory_order_relaxed);
     if (pending > max_queue_depth_) max_queue_depth_ = pending;
 
+    if (wd_enabled_.load(std::memory_order_relaxed)) {
+      // Boundary snapshot for the flight recorder: lane fronts and the
+      // window just planned. Costs O(nodes) per window, watchdog only.
+      for (uint32_t n = 0; n < nodes_; ++n) {
+        wd_lane_front_[n].store(
+            node_q_[n].empty() ? kInfTime : node_q_[n].top().time,
+            std::memory_order_relaxed);
+        wd_lane_winend_[n].store(win_end_lane_[n],
+                                 std::memory_order_relaxed);
+      }
+      wd_window_.store(windows_, std::memory_order_relaxed);
+      wd_heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (host_prof_ != nullptr) {
+      prof_mark(0, win, support::HostPhase::kPlan);
+    }
+
     if (num_workers_ > 1) {
       barrier_.release(++epoch_seq_);
+      if (host_prof_ != nullptr) {
+        prof_mark(0, win, support::HostPhase::kBarrierWake);
+      }
       process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
       barrier_.wait_arrivals(epoch_seq_);
+      if (host_prof_ != nullptr) {
+        prof_mark(0, win, support::HostPhase::kBarrierWait);
+      }
     } else {
       process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
     }
   }
+
+  // Close the profile as the drain loop exits: wall time measures the
+  // windowed drain, not the pool teardown below (joining parked workers
+  // can cost milliseconds of scheduler latency that no phase owns).
+  // Workers have recorded their final span by their last arrive; their
+  // threads are joined before profile() can run.
+  if (host_prof_ != nullptr) host_prof_->end();
 
   if (!threads_.empty()) {
     quit_.store(true, std::memory_order_release);
     barrier_.release(++epoch_seq_);
     for (std::thread& t : threads_) t.join();
     threads_.clear();
+  }
+  if (wd_enabled_.load(std::memory_order_relaxed)) {
+    wd_enabled_.store(false, std::memory_order_release);
+    wd_quit_.store(true, std::memory_order_release);
+    wd_thread_.join();
   }
   if (!saved_affinity.empty()) {
     support::set_current_thread_affinity(saved_affinity);
@@ -577,6 +695,80 @@ Time Simulator::run_windowed(uint32_t workers) {
   if (tracer != nullptr) tracer->end_sharded();
   running_ = false;
   return now_;
+}
+
+std::string Simulator::watchdog_dump(uint64_t stalled_ns) const {
+  auto fmt_time = [](uint64_t t) {
+    return t == static_cast<uint64_t>(kInfTime) ? std::string("inf")
+                                                : std::to_string(t);
+  };
+  std::string out;
+  out.reserve(512 + 96 * nodes_);
+  out += "=== simulator stall watchdog ===\n";
+  out += "no execution progress for " +
+         std::to_string(stalled_ns / 1000000) + " ms (budget " +
+         std::to_string(wd_opts_.budget_ms) + " ms)\n";
+  out += "window " + std::to_string(wd_window_.load(std::memory_order_acquire)) +
+         ", heartbeat " +
+         std::to_string(wd_heartbeat_.load(std::memory_order_acquire)) +
+         ", barrier epoch " + std::to_string(barrier_.current_epoch()) +
+         " (completed " + std::to_string(barrier_.last_completed_epoch()) +
+         "), parked workers " + std::to_string(barrier_.parked_workers()) +
+         "\n";
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    out += "worker " + std::to_string(w) + ": last window " +
+           std::to_string(wd_worker_win_[w].load(std::memory_order_acquire)) +
+           ", last exec t=" +
+           std::to_string(wd_worker_time_[w].load(std::memory_order_acquire)) +
+           ", cause uid " +
+           std::to_string(wd_worker_uid_[w].load(std::memory_order_acquire)) +
+           "\n";
+  }
+  for (uint32_t n = 0; n < nodes_; ++n) {
+    out += "lane " + std::to_string(n) + ": front t=" +
+           fmt_time(wd_lane_front_[n].load(std::memory_order_acquire)) +
+           ", window end t=" +
+           fmt_time(wd_lane_winend_[n].load(std::memory_order_acquire)) +
+           ", armed sends " +
+           std::to_string(
+               armed_cross_[n].load(std::memory_order_acquire)) +
+           "\n";
+  }
+  out += "=== end watchdog dump ===\n";
+  return out;
+}
+
+void Simulator::watchdog_main() {
+  const uint64_t budget_ns = wd_opts_.budget_ms * 1000000ull;
+  // Poll at a quarter of the budget (capped at 10ms) so a stall is
+  // caught within ~1.25x the budget without burning a core.
+  const uint64_t poll_ns =
+      std::min<uint64_t>(std::max<uint64_t>(budget_ns / 4, 100000ull),
+                         10000000ull);
+  uint64_t last_beat = wd_heartbeat_.load(std::memory_order_acquire);
+  uint64_t last_change = support::host_now_ns();
+  while (!wd_quit_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll_ns));
+    const uint64_t beat = wd_heartbeat_.load(std::memory_order_acquire);
+    if (beat != last_beat) {
+      last_beat = beat;
+      last_change = support::host_now_ns();
+      continue;
+    }
+    const uint64_t stalled = support::host_now_ns() - last_change;
+    if (stalled < budget_ns) continue;
+    const std::string dump = watchdog_dump(stalled);
+    if (wd_opts_.sink) {
+      wd_opts_.sink(dump);
+    } else {
+      std::fputs(dump.c_str(), stderr);
+      std::fflush(stderr);
+    }
+    wd_fired_.store(true, std::memory_order_release);
+    if (wd_opts_.abort_on_stall) std::abort();
+    // Non-aborting (test) mode: re-arm and keep monitoring.
+    last_change = support::host_now_ns();
+  }
 }
 
 }  // namespace cr::sim

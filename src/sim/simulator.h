@@ -73,6 +73,7 @@
 #include "sim/event.h"
 #include "sim/event_graph.h"
 #include "sim/window_barrier.h"
+#include "support/host_clock.h"
 
 namespace cr::support {
 class Tracer;
@@ -195,6 +196,43 @@ class Simulator {
     exec_log_ = log;
   }
 
+  // --- host-phase profiling (observability; see support/host_clock.h) --
+  // Attach (or detach with nullptr) a host-phase span recorder for the
+  // next run_windowed(). The simulator stamps phase boundaries with the
+  // monotonic host clock and records one contiguous span per phase per
+  // worker per window; nothing read from the host clock ever feeds
+  // virtual-time ordering, so profiled runs stay bit-identical. The
+  // disabled path is one null-pointer check per phase boundary.
+  void set_host_profiler(support::HostProfiler* prof) { host_prof_ = prof; }
+  support::HostProfiler* host_profiler() const { return host_prof_; }
+
+  // --- stall watchdog --------------------------------------------------
+  // A monitor thread that turns a hung windowed run (lookahead bug,
+  // barrier deadlock, stuck lane) into an actionable flight-recorder
+  // dump instead of a silent hang: if no entry executes and no window
+  // boundary is crossed for `budget_ms` of wall time, the dump (per-lane
+  // fronts and window ends, armed-send counts, barrier epoch/parked
+  // state, last-executed state per worker) goes to `sink` (stderr when
+  // unset) and the process aborts (unless abort_on_stall is false, in
+  // which case the watchdog records that it fired and re-arms).
+  struct WatchdogOptions {
+    uint64_t budget_ms = 0;  // 0 = disabled
+    bool abort_on_stall = true;
+    std::function<void(const std::string&)> sink;
+  };
+  void set_watchdog(WatchdogOptions opts) { wd_opts_ = std::move(opts); }
+  bool watchdog_fired() const {
+    return wd_fired_.load(std::memory_order_acquire);
+  }
+
+  // Test-only: invoked at the top of every lane's share of a window
+  // (lane index, window index) on the worker thread that owns the lane.
+  // Lets tests wedge a lane deliberately to exercise the watchdog.
+  void set_test_lane_hook(
+      std::function<void(uint32_t lane, uint64_t window)> hook) {
+    test_lane_hook_ = std::move(hook);
+  }
+
   // True while run() / run_windowed() is processing events.
   bool running() const { return running_; }
 
@@ -274,6 +312,11 @@ class Simulator {
   // current policy, and bump the window counter.
   void compute_window_ends(Time node_min);
   void worker_main(uint32_t worker);
+  // Close the current host-phase segment for `worker` (one clock read;
+  // the segment began where the previous mark ended).
+  void prof_mark(uint32_t worker, uint64_t window, support::HostPhase phase);
+  void watchdog_main();
+  std::string watchdog_dump(uint64_t stalled_ns) const;
 
   Time now_ = 0;
   uint64_t next_seq_ = 0;
@@ -340,6 +383,32 @@ class Simulator {
   std::vector<uint32_t> lane_hi_;
   std::vector<OutBuffer> outbox_;  // per-worker staged cross pushes
   std::vector<int> worker_cpus_;   // pin plan; empty = no pinning
+
+  // --- host-phase profiler (null = disabled) ---------------------------
+  support::HostProfiler* host_prof_ = nullptr;
+  // Per-worker phase-boundary cursor: each mark's span starts where the
+  // previous one ended, so a worker's spans tile its timeline. Each slot
+  // is written only by its own thread.
+  std::vector<uint64_t> prof_cursor_;
+
+  // --- stall watchdog --------------------------------------------------
+  // Flight-recorder state, published only when the watchdog is enabled
+  // (wd_enabled_ guards every hook). All atomics so the monitor thread
+  // reads valid (possibly one-cycle-stale) values without touching the
+  // backend's plain state.
+  WatchdogOptions wd_opts_;
+  std::atomic<bool> wd_enabled_{false};
+  std::atomic<bool> wd_quit_{false};
+  std::atomic<bool> wd_fired_{false};
+  std::atomic<uint64_t> wd_heartbeat_{0};  // bumped per execute + boundary
+  std::atomic<uint64_t> wd_window_{0};     // windows_ mirror for the monitor
+  std::unique_ptr<std::atomic<uint64_t>[]> wd_lane_front_;   // nodes_
+  std::unique_ptr<std::atomic<uint64_t>[]> wd_lane_winend_;  // nodes_
+  std::unique_ptr<std::atomic<uint64_t>[]> wd_worker_uid_;   // last cause uid
+  std::unique_ptr<std::atomic<uint64_t>[]> wd_worker_time_;  // last exec time
+  std::unique_ptr<std::atomic<uint64_t>[]> wd_worker_win_;   // last window
+  std::thread wd_thread_;
+  std::function<void(uint32_t, uint64_t)> test_lane_hook_;
 };
 
 }  // namespace cr::sim

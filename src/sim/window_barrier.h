@@ -71,6 +71,19 @@ class WindowBarrier {
   // No-op when the barrier was built with zero arrivers.
   void wait_arrivals(uint64_t epoch);
 
+  // Observability snapshots for the stall watchdog's flight recorder.
+  // Racy-by-design reads from the monitor thread: values may be one
+  // cycle stale but are always internally valid.
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  uint32_t parked_workers() const {
+    return parked_.load(std::memory_order_acquire);
+  }
+  uint64_t last_completed_epoch() const {
+    return root_done_.load(std::memory_order_acquire);
+  }
+
  private:
   struct alignas(64) Counter {
     std::atomic<uint32_t> remaining{0};

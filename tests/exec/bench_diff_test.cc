@@ -215,6 +215,49 @@ TEST(BenchDiff, HostMetricsGateOnlyViaHostPct) {
   EXPECT_TRUE(bench_diff(base, cur, host).ok());
 }
 
+TEST(BenchDiff, BarrierWaitRegressionCaughtOnlyByHostGate) {
+  // The host-phase profiler's keys (host.phase.*) ride the same routing
+  // as the older host.run_seconds: a doubled barrier-wait time — the
+  // canonical symptom of a backend synchronization regression that is
+  // invisible in virtual time — must be caught by --host, and only by
+  // --host. Virtual-time quantities in the same point stay identical,
+  // so the default and all_pct gates have nothing to flag.
+  const char* base = R"({"series":[{"name":"spmd","points":[
+    {"nodes":4,"makespan_ns":1000000,
+     "metrics":{"host.phase.barrier_wait_ns":1000000,
+                "host.phase.lane_drain_ns":4000000,
+                "host.profile.serial_fraction":0.2,
+                "sim.events_processed":5000,
+                "sim.windows":40}}]}]})";
+  const char* cur = R"({"series":[{"name":"spmd","points":[
+    {"nodes":4,"makespan_ns":1000000,
+     "metrics":{"host.phase.barrier_wait_ns":2200000,
+                "host.phase.lane_drain_ns":4000000,
+                "host.profile.serial_fraction":0.2,
+                "sim.events_processed":5000,
+                "sim.windows":40}}]}]})";
+  EXPECT_TRUE(bench_diff(base, cur, DiffOptions{}).ok());
+  DiffOptions all;
+  all.all_pct = 5.0;
+  EXPECT_TRUE(bench_diff(base, cur, all).ok());
+  DiffOptions host;
+  host.host_pct = 50.0;
+  const DiffResult r = bench_diff(base, cur, host);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u) << r.to_text();
+  EXPECT_NE(r.regressions[0].find("host.phase.barrier_wait_ns"),
+            std::string::npos);
+  // The untouched host keys pass the same gate.
+  const char* lane_only = R"({"series":[{"name":"spmd","points":[
+    {"nodes":4,"makespan_ns":1000000,
+     "metrics":{"host.phase.barrier_wait_ns":1000000,
+                "host.phase.lane_drain_ns":4100000,
+                "host.profile.serial_fraction":0.2,
+                "sim.events_processed":5000,
+                "sim.windows":40}}]}]})";
+  EXPECT_TRUE(bench_diff(base, lane_only, host).ok());
+}
+
 TEST(BenchDiff, InfoMetricsNeverGate) {
   // "info." keys are context (rates, rep counts), not costs: neither
   // all_pct nor host_pct may gate them. An explicit per-metric override

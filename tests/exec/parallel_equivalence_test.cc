@@ -60,7 +60,8 @@ ir::Program build_app(rt::Runtime& rt, const std::string& app,
 }
 
 ExecutionResult run_app(const std::string& app, uint32_t workers,
-                        bool replay = false, bool adaptive = true) {
+                        bool replay = false, bool adaptive = true,
+                        bool host_profile = false, bool watchdog = false) {
   CostModel cost;
   cost.track_dependences = false;
   const uint32_t nodes = 4;
@@ -74,6 +75,10 @@ ExecutionResult run_app(const std::string& app, uint32_t workers,
   cfg.check = true;
   cfg.trace_replay = replay;
   cfg.adaptive_window = adaptive;
+  cfg.host_profile = host_profile;
+  // A budget far above any test run's wall time: the watchdog thread
+  // runs but must never fire (and must never perturb the timeline).
+  cfg.watchdog_ms = watchdog ? 60000 : 0;
   PreparedRun run = prepare(rt, std::move(program), cfg);
   return run.run();
 }
@@ -166,6 +171,54 @@ TEST(ParallelEquivalence, ReplayFlagIsInertInSpmd) {
       EXPECT_EQ(res.check->stats.pairs_checked,
                 ref.check->stats.pairs_checked)
           << app << " workers=" << w;
+    }
+  }
+}
+
+// The host-phase profiler and stall watchdog are pure observers: with
+// both enabled, every virtual-time quantity — makespan, the full
+// metrics snapshot, the checker verdict — must be bit-identical to the
+// unobserved run at the same worker count, including workers=0 (the
+// sequential SPMD path, where both features are inert no-ops). The
+// wall-clock profile must also stay out of the metrics snapshot: that
+// map is the bit-stable cross-machine diff surface.
+TEST(ParallelEquivalence, HostProfilerAndWatchdogAreObserverNeutral) {
+  for (const std::string app : {"stencil", "circuit"}) {
+    for (const uint32_t w : {0u, 1u, 4u}) {
+      const std::string where = app + " workers=" + std::to_string(w);
+      const ExecutionResult ref = run_app(app, w);
+      const ExecutionResult res =
+          run_app(app, w, /*replay=*/false, /*adaptive=*/true,
+                  /*host_profile=*/true, /*watchdog=*/true);
+      EXPECT_EQ(res.makespan_ns, ref.makespan_ns) << where;
+      EXPECT_EQ(res.point_tasks, ref.point_tasks) << where;
+      EXPECT_EQ(res.bytes_moved, ref.bytes_moved) << where;
+      EXPECT_EQ(res.messages, ref.messages) << where;
+      EXPECT_EQ(res.metrics, ref.metrics) << where;
+      ASSERT_NE(res.check, nullptr) << where;
+      ASSERT_NE(ref.check, nullptr) << where;
+      EXPECT_EQ(res.check->ok(), ref.check->ok()) << where;
+      EXPECT_EQ(res.check->races.size(), ref.check->races.size()) << where;
+      EXPECT_EQ(res.check->stats.accesses, ref.check->stats.accesses)
+          << where;
+      for (const auto& [key, value] : res.metrics) {
+        EXPECT_NE(key.rfind("host.", 0), 0u)
+            << where << ": wall-clock key leaked into metrics: " << key;
+      }
+      if (w >= 1) {
+        // The windowed backend ran: the profile artifact must exist and
+        // cover the whole run.
+        ASSERT_NE(res.host_profile, nullptr) << where;
+        EXPECT_EQ(res.host_profile->workers, w) << where;
+        EXPECT_GT(res.host_profile->wall_ns, 0u) << where;
+        EXPECT_EQ(res.host_profile->windows,
+                  static_cast<uint64_t>(res.metrics.at("sim.windows")))
+            << where;
+      } else {
+        // Sequential path: nothing to profile.
+        EXPECT_EQ(res.host_profile, nullptr) << where;
+      }
+      EXPECT_EQ(ref.host_profile, nullptr) << where;
     }
   }
 }

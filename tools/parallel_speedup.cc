@@ -15,23 +15,33 @@
 //   parallel_speedup [--app=stencil|circuit] [--nodes=<n>] [--steps=<n>]
 //                    [--max-workers=<n>] [--reps=<n>] [--warmup=<n>]
 //                    [--pin] [--global-window] [--json=<path>]
-//                    [--require-speedup=<x>]
+//                    [--require-speedup=<x>] [--host-trace=<path>]
+//                    [--host-report=<path>]
 //
 // --json writes a bench_diff-compatible document: one series per worker
 // count ("w0" = legacy loop, "wN" = windowed), a single point at the
 // node count, with wall-clock results under "host." metric keys (gated
 // by bench_diff --host) and context under "info." keys (never gated).
+// When any artifact is requested, each windowed worker count gets one
+// extra host-profiled run *after* its timed reps (so profiling overhead
+// never pollutes the speedup numbers); its serial fraction and
+// per-phase breakdown land in the JSON as info.* keys — explaining why
+// a speedup number moved, not just that it did. --host-trace /
+// --host-report additionally write the top worker count's host Chrome
+// trace and HOST_phases report (the tools/window_report input).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/circuit/circuit.h"
 #include "apps/stencil/stencil.h"
 #include "exec/implicit_exec.h"
+#include "support/host_clock.h"
 
 namespace {
 
@@ -45,7 +55,14 @@ struct ToolOptions {
   bool pin = false;
   bool global_window = false;
   std::string json_path;
+  std::string host_trace_path;
+  std::string host_report_path;
   double require_speedup = 0;  // 0 = report only
+
+  bool want_profile() const {
+    return !json_path.empty() || !host_trace_path.empty() ||
+           !host_report_path.empty();
+  }
 };
 
 struct Measured {
@@ -61,6 +78,8 @@ struct Measured {
   double setup_seconds = 0;
   double run_seconds = 0;
   uint32_t reps = 0;
+  // Host-phase profile from the extra (untimed) profiled run.
+  std::shared_ptr<cr::support::HostProfile> profile;
 };
 
 struct OneRun {
@@ -69,9 +88,11 @@ struct OneRun {
   uint64_t windows = 0;
   double setup_seconds = 0;
   double run_seconds = 0;
+  std::shared_ptr<cr::support::HostProfile> profile;
 };
 
-OneRun run_once(const ToolOptions& opt, uint32_t workers) {
+OneRun run_once(const ToolOptions& opt, uint32_t workers,
+                bool profile = false) {
   const auto setup_begin = std::chrono::steady_clock::now();
   cr::exec::CostModel cost = cr::exec::CostModel::piz_daint();
   cost.track_dependences = false;
@@ -102,12 +123,14 @@ OneRun run_once(const ToolOptions& opt, uint32_t workers) {
   ecfg.workers = workers;
   ecfg.adaptive_window = !opt.global_window;
   ecfg.pin_workers = opt.pin;
+  ecfg.host_profile = profile && workers >= 1;
   cr::exec::PreparedRun run = cr::exec::prepare(rt, std::move(program), ecfg);
   const auto run_begin = std::chrono::steady_clock::now();
   const cr::exec::ExecutionResult res = run.run();
   const auto run_end = std::chrono::steady_clock::now();
   OneRun out;
   out.makespan_ns = res.makespan_ns;
+  out.profile = res.host_profile;
   auto metric = [&res](const char* key) -> uint64_t {
     auto it = res.metrics.find(key);
     return it != res.metrics.end() ? static_cast<uint64_t>(it->second) : 0;
@@ -149,6 +172,20 @@ Measured measure(const ToolOptions& opt, uint32_t workers) {
   }
   out.setup_seconds = median(setup);
   out.run_seconds = median(runs);
+  // One extra profiled run, after the timed reps so the profiler's
+  // clock reads never touch the timing. The profiled run must replay
+  // the same makespan — profiling is virtual-time-neutral by contract.
+  if (workers >= 1 && opt.want_profile()) {
+    const OneRun r = run_once(opt, workers, /*profile=*/true);
+    if (r.makespan_ns != out.makespan_ns) {
+      std::fprintf(stderr,
+                   "FAIL: host-profiled run changed the makespan at "
+                   "workers=%u\n",
+                   workers);
+      std::exit(1);
+    }
+    out.profile = r.profile;
+  }
   return out;
 }
 
@@ -157,7 +194,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--app=stencil|circuit] [--nodes=<n>] [--steps=<n>]\n"
       "          [--max-workers=<n>] [--reps=<n>] [--warmup=<n>] [--pin]\n"
-      "          [--global-window] [--json=<path>] [--require-speedup=<x>]\n",
+      "          [--global-window] [--json=<path>] [--require-speedup=<x>]\n"
+      "          [--host-trace=<path>] [--host-report=<path>]\n",
       argv0);
   return 2;
 }
@@ -200,6 +238,19 @@ void write_json(const ToolOptions& opt, const std::vector<Measured>& runs,
     std::fprintf(f, "         \"info.events_per_sec\": %.1f,\n", evps);
     std::fprintf(f, "         \"info.windows\": %llu,\n",
                  static_cast<unsigned long long>(m.windows));
+    if (m.profile != nullptr) {
+      // Why the number moved: the measured serial fraction and where
+      // the host cycles went, from the extra profiled run. info.* keys
+      // are context — bench_diff never gates them.
+      std::fprintf(f, "         \"info.serial_fraction\": %.6f,\n",
+                   m.profile->serial_fraction);
+      for (size_t p = 0; p < cr::support::kNumHostPhases; ++p) {
+        std::fprintf(f, "         \"info.phase.%s_ns\": %.0f,\n",
+                     cr::support::host_phase_name(
+                         static_cast<cr::support::HostPhase>(p)),
+                     m.profile->phase_ns[p]);
+      }
+    }
     std::fprintf(f, "         \"info.reps\": %u\n", m.reps);
     std::fprintf(f, "       }}\n");
     std::fprintf(f, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
@@ -239,6 +290,10 @@ int main(int argc, char** argv) {
       opt.global_window = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = val("--json=");
+    } else if (arg.rfind("--host-trace=", 0) == 0) {
+      opt.host_trace_path = val("--host-trace=");
+    } else if (arg.rfind("--host-report=", 0) == 0) {
+      opt.host_report_path = val("--host-report=");
     } else if (arg.rfind("--require-speedup=", 0) == 0) {
       opt.require_speedup = std::atof(val("--require-speedup="));
     } else {
@@ -290,6 +345,28 @@ int main(int argc, char** argv) {
     }
   }
   if (!opt.json_path.empty()) write_json(opt, runs, windowed1);
+  // Host artifacts come from the largest worker count's profiled run —
+  // the configuration the CI serial-fraction ratchet watches.
+  const Measured* top_profiled = nullptr;
+  for (const Measured& m : runs) {
+    if (m.profile != nullptr &&
+        (top_profiled == nullptr || m.workers > top_profiled->workers)) {
+      top_profiled = &m;
+    }
+  }
+  if (top_profiled != nullptr) {
+    std::printf("workers=%u serial fraction: %.4f over %llu windows\n",
+                top_profiled->workers, top_profiled->profile->serial_fraction,
+                (unsigned long long)top_profiled->profile->windows);
+    if (!opt.host_trace_path.empty()) {
+      top_profiled->profile->write_chrome_json(opt.host_trace_path);
+      std::printf("wrote %s\n", opt.host_trace_path.c_str());
+    }
+    if (!opt.host_report_path.empty()) {
+      top_profiled->profile->write_json(opt.host_report_path, opt.app);
+      std::printf("wrote %s\n", opt.host_report_path.c_str());
+    }
+  }
   if (diverged) {
     std::fprintf(stderr,
                  "FAIL: windowed makespans diverged across worker counts\n");
