@@ -172,6 +172,11 @@ struct BenchOptions {
   // (ExecConfig::adaptive_window = false). Equivalence-testing knob;
   // virtual results are bit-identical either way.
   bool global_window = false;
+  // --no-elide: disable boundary elision in the windowed backend
+  // (ExecConfig::elide_boundaries = false), forcing the full serial
+  // park/drain/release protocol at every window boundary.
+  // Equivalence-testing knob; virtual results are bit-identical.
+  bool no_elide = false;
   // --replay: capture & replay steady-state dependence-analysis traces
   // (ExecConfig::trace_replay). Only engages for implicit runs that
   // track dependences; virtual results are bit-identical either way.
@@ -232,6 +237,10 @@ struct BenchOptions {
                    "use the global-window reference policy (no adaptive "
                    "per-lane lookahead)",
                    &global_window);
+    flags.add_flag("no-elide",
+                   "disable window-boundary elision (full serial "
+                   "boundary at every window)",
+                   &no_elide);
     flags.add_string("host-trace", "<path>",
                      "host-phase profile of the windowed backend "
                      "(Chrome trace + HOST_phases report)",
@@ -333,6 +342,7 @@ class Bench {
       }
     }
     cfg.adaptive_window = !options_.global_window;
+    cfg.elide_boundaries = !options_.no_elide;
     cfg.trace_replay = options_.replay;
     cfg.mapper.name = options_.mapper;
     cfg.mapper.seed = static_cast<uint64_t>(options_.mapper_seed);

@@ -35,6 +35,7 @@ struct Engine::Impl {
         mode_(config.mode),
         workers_(config.workers),
         adaptive_window_(config.adaptive_window),
+        elide_boundaries_(config.elide_boundaries),
         pin_workers_(config.pin_workers),
         host_profile_(config.host_profile),
         watchdog_ms_(config.watchdog_ms),
@@ -424,6 +425,7 @@ struct Engine::Impl {
     m.counter("sim.events_processed").set(sim().events_processed());
     m.gauge("sim.queue.max_depth").set(sim().max_queue_depth());
     m.counter("sim.windows").set(sim().windows());
+    m.counter("sim.windows_elided").set(sim().elided_boundaries());
     m.counter("sim.net.messages").set(rt_.network().messages_sent());
     m.counter("sim.net.bytes").set(rt_.network().bytes_sent());
     support::Histogram& busy = m.histogram("sim.proc.busy_ns");
@@ -1462,6 +1464,7 @@ struct Engine::Impl {
   ExecMode mode_;
   const uint32_t workers_;      // 0 = sequential loop, N = windowed backend
   const bool adaptive_window_;  // per-lane horizons vs global reference
+  const bool elide_boundaries_;  // fuse serial-free window boundaries
   const bool pin_workers_;      // topology-pin the backend's host threads
   const bool host_profile_;     // host-phase spans on the windowed run
   const uint64_t watchdog_ms_;  // stall watchdog budget (0 = off)
@@ -1637,6 +1640,7 @@ ExecutionResult Engine::run() {
                        impl_->rt_.network().min_cross_node_delay());
     }
     s.set_adaptive_window(impl_->adaptive_window_);
+    s.set_elide_boundaries(impl_->elide_boundaries_);
     if (impl_->pin_workers_) {
       // Host-side placement only (virtual time is unaffected): spread
       // the backend's threads across distinct physical cores.

@@ -43,6 +43,17 @@ struct ExecConfig {
   // bit-identical virtual timelines; adaptive runs far fewer windows.
   bool adaptive_window = true;
 
+  // Boundary elision for the multi-worker backend (backend v3, adaptive
+  // policy only): fuse runs of windows whose boundaries provably have
+  // no serial work into one barrier cycle, rolling lanes between
+  // pre-planned horizons through a cheap symmetric rendezvous. True
+  // (default) = elide; false = the full-boundary reference protocol,
+  // kept for equivalence testing. Bit-identical virtual timelines
+  // either way; only host-side boundary cost and the window-shape
+  // gauges (sim.windows, sim.windows_elided, sim.queue.max_depth)
+  // differ.
+  bool elide_boundaries = true;
+
   // Pin the backend's host threads to distinct physical cores (probed
   // via support/topology.h; no-op where unsupported). Host-side only:
   // never affects virtual time.

@@ -17,6 +17,12 @@ namespace cr::sim {
 namespace {
 constexpr Time kInfTime = std::numeric_limits<Time>::max();
 
+// Elided boundaries pre-planned per full window. Each elision advances
+// every lane by at least one lookahead, so 64 already fuses away the
+// overwhelming share of boundaries; the cap bounds the planning cost
+// (O(cap * nodes) per full window) and the horizon-schedule memory.
+constexpr uint32_t kMaxElidedPerWindow = 64;
+
 // t + dt without wrapping past the infinite horizon.
 Time sat_add(Time t, Time dt) {
   return t > kInfTime - dt ? kInfTime : t + dt;
@@ -139,6 +145,12 @@ void Simulator::schedule_merge_completion(Time t, uint64_t merge_uid,
   // Key by the merge's unroll-assigned uid: whichever host thread
   // happens to complete the countdown, the entry is identical.
   push_windowed(t, kNoAffinity, kMergeCreator, merge_uid, std::move(fn));
+  // The merge is no longer an unknown: its completion is now a plain
+  // global entry covered by the next-global-entry clamp. The planner
+  // only reads this at full boundaries (workers parked), so a relaxed
+  // decrement from whichever worker got here last is enough.
+  const uint64_t prev = pending_merges_.fetch_sub(1, std::memory_order_relaxed);
+  CR_CHECK_MSG(prev > 0, "merge completion scheduled without note_merge_armed");
 }
 
 void Simulator::note_cross_send_armed(uint32_t src) {
@@ -153,6 +165,11 @@ void Simulator::note_cross_send_fired(uint32_t src) {
   const uint64_t prev =
       armed_cross_[src].fetch_sub(1, std::memory_order_relaxed);
   CR_CHECK_MSG(prev > 0, "cross-send fired without being armed");
+}
+
+void Simulator::note_merge_armed() {
+  if (!windowed_) return;
+  pending_merges_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Simulator::note_global_influence_floor(Time delay) {
@@ -282,6 +299,12 @@ void Simulator::begin_windowed(uint32_t nodes, Time lookahead) {
   for (uint32_t n = 0; n < nodes; ++n) {
     armed_cross_[n].store(0, std::memory_order_relaxed);
   }
+  elided_boundaries_ = 0;
+  elide_count_ = 0;
+  pending_merges_.store(0, std::memory_order_relaxed);
+  elide_arrived_.store(0, std::memory_order_relaxed);
+  elide_phase_.store(0, std::memory_order_relaxed);
+  fronts_dirty_ = false;
 }
 
 void Simulator::drain_inboxes() {
@@ -407,6 +430,173 @@ void Simulator::compute_window_ends(Time node_min) {
   }
 }
 
+void Simulator::plan_elisions() {
+  elide_count_ = 0;
+  // Elision needs the adaptive machinery (armed counts, influence
+  // floors); the reference policy stays the untouched PR 5 baseline.
+  if (!elide_ || !adaptive_) return;
+  // An outstanding remote merge could mint a global-lane entry at an
+  // unknown time mid-region; every boundary until it schedules must
+  // run the full serial protocol.
+  if (pending_merges_.load(std::memory_order_relaxed) != 0) return;
+  // With no outstanding merges, workers cannot mint global entries
+  // (worker scheduling always targets node lanes), so the global queue
+  // is frozen for the whole region and its front is an exact cap: the
+  // boundary *at* the cap must be a full one (serial phase due), and
+  // every boundary strictly below it has no serial work by
+  // construction — that is the elision condition.
+  const Time global_cap =
+      global_q_.empty() ? kInfTime : global_q_.top().time;
+  uint32_t armed_lanes = 0;
+  for (uint32_t m = 0; m < nodes_; ++m) {
+    if (armed_cross_[m].load(std::memory_order_relaxed) != 0) ++armed_lanes;
+  }
+  if (armed_lanes == 0) {
+    // No lane can influence another: compute_window_ends already ran
+    // every lane to the global cap (or to infinity), and the next
+    // boundary either has serial work or ends the run.
+    return;
+  }
+  if (elide_ends_.size() < kMaxElidedPerWindow) {
+    elide_ends_.resize(kMaxElidedPerWindow);
+  }
+  // Iterate the window-horizon solve forward without executing: the
+  // previous sub-window's ends are conservative lower bounds on every
+  // entry an armed lane can still execute or receive (its queue was
+  // drained below its end, and any in-flight delivery was CHECKed at
+  // or beyond it), so they play the role the boundary fronts played in
+  // compute_window_ends. Empty-vs-nonempty queues are unknowable this
+  // far ahead, so every armed lane's bound participates — strictly
+  // more conservative than the boundary solve, never less safe.
+  const std::vector<Time>* lb = &win_end_lane_;
+  while (elide_count_ < kMaxElidedPerWindow) {
+    Time h1 = kInfTime;
+    Time h2 = kInfTime;
+    uint32_t arg1 = kNoAffinity;
+    for (uint32_t m = 0; m < nodes_; ++m) {
+      if (armed_cross_[m].load(std::memory_order_relaxed) == 0) continue;
+      const Time h = (*lb)[m];
+      if (h < h1) {
+        h2 = h1;
+        h1 = h;
+        arg1 = m;
+      } else if (h < h2) {
+        h2 = h;
+      }
+    }
+    const Time b_other = std::min(global_cap, sat_add(h1, lookahead_));
+    Time b_min = global_cap;
+    if (arg1 != kNoAffinity && armed_lanes >= 2) {
+      b_min = std::min(b_min, std::min(sat_add(h2, lookahead_),
+                                       sat_add(h1, 2 * lookahead_)));
+    }
+    std::vector<Time>& ends = elide_ends_[elide_count_];
+    ends.assign(nodes_, b_other);
+    if (arg1 != kNoAffinity) ends[arg1] = b_min;
+    // Stop once the schedule stops advancing (all lanes pinned at the
+    // global cap — the next boundary needs its serial phase) or has
+    // run to infinity (one more sub-window drains everything).
+    bool progress = false;
+    bool all_inf = true;
+    for (uint32_t n = 0; n < nodes_; ++n) {
+      progress |= ends[n] > (*lb)[n];
+      all_inf &= ends[n] == kInfTime;
+    }
+    if (!progress) break;
+    ++elide_count_;
+    if (all_inf) break;
+    lb = &elide_ends_[elide_count_ - 1];
+  }
+  if (elide_count_ > 0) {
+    // Worker-side mailbox drains inside the region bypass the front
+    // heap; rebuild it before the next plan.
+    fronts_dirty_ = true;
+  }
+}
+
+void Simulator::rebuild_fronts() {
+  front_heap_.clear();
+  for (uint32_t n = 0; n < nodes_; ++n) {
+    if (node_q_[n].empty()) {
+      front_hint_[n] = kInfTime;
+    } else {
+      front_hint_[n] = node_q_[n].top().time;
+      front_heap_.emplace_back(front_hint_[n], n);
+    }
+  }
+  std::make_heap(front_heap_.begin(), front_heap_.end(), FrontLater{});
+  fronts_dirty_ = false;
+}
+
+void Simulator::drain_block_inboxes(uint32_t worker) {
+  // A worker folding flushed deliveries into its own block between
+  // sub-windows. Unlike drain_inboxes this never touches the front
+  // heap (coordinator-owned) or the global mailbox (serial-phase
+  // input, frozen while elision is legal).
+  for (uint32_t n = lane_lo_[worker]; n < lane_hi_[worker]; ++n) {
+    Mailbox& box = inbox_[n];
+    if (!box.nonempty.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (Entry& e : box.items) {
+      node_q_[n].push(std::move(e));
+    }
+    box.items.clear();
+    box.nonempty.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Simulator::elide_rendezvous(uint32_t sub) {
+  // Every participant has finished sub-window `sub` and flushed its
+  // outbox. The last arriver installs the pre-planned horizons for the
+  // next sub-window and releases everyone; the acq_rel arrival RMW plus
+  // the release store on the phase word publish both the flushed
+  // mailboxes and the new horizons to every worker that leaves.
+  const uint64_t cur = elide_phase_.load(std::memory_order_acquire);
+  if (elide_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      num_workers_) {
+    const std::vector<Time>& ends = elide_ends_[sub];
+    std::copy(ends.begin(), ends.end(), win_end_lane_.begin());
+    if (wd_enabled_.load(std::memory_order_relaxed)) {
+      // The boundary heartbeat for elided boundaries, plus fresh window
+      // ends for the flight recorder (fronts stay at the last full
+      // boundary's snapshot: other workers own those queues).
+      for (uint32_t n = 0; n < nodes_; ++n) {
+        wd_lane_winend_[n].store(ends[n], std::memory_order_relaxed);
+      }
+      wd_heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    }
+    elide_arrived_.store(0, std::memory_order_relaxed);
+    elide_phase_.store(cur + 1, std::memory_order_release);
+    elide_phase_.notify_all();
+    return;
+  }
+  for (uint32_t i = 0; i < WindowBarrier::kSpinBudget; ++i) {
+    if (elide_phase_.load(std::memory_order_acquire) != cur) return;
+  }
+  while (elide_phase_.load(std::memory_order_acquire) == cur) {
+    elide_phase_.wait(cur, std::memory_order_acquire);
+  }
+}
+
+void Simulator::run_region(uint32_t worker, uint64_t* processed,
+                           Time* max_time) {
+  // One fused region: the full window just planned plus elide_count_
+  // follow-on windows whose boundaries collapsed to a rendezvous. The
+  // region runs under a single release/arrive cycle of the main
+  // barrier; windows_ - 1 names the whole region in profiles and the
+  // test hook.
+  const uint64_t win = windows_ - 1;
+  for (uint32_t sub = 0;; ++sub) {
+    process_nodes(worker, processed, max_time);
+    if (sub == elide_count_) return;
+    elide_rendezvous(sub);
+    drain_block_inboxes(worker);
+    if (host_prof_ != nullptr) {
+      prof_mark(worker, win, support::HostPhase::kElided);
+    }
+  }
+}
+
 void Simulator::execute(const Entry& e, uint32_t affinity,
                         uint64_t* processed, Time* max_time) {
   const uint32_t lane = affinity == kNoAffinity ? nodes_ : affinity;
@@ -498,8 +688,8 @@ void Simulator::worker_main(uint32_t worker) {
     if (host_prof_ != nullptr) {
       prof_mark(worker, win, support::HostPhase::kBarrierWait);
     }
-    process_nodes(worker, &worker_processed_[worker],
-                  &worker_max_time_[worker]);
+    run_region(worker, &worker_processed_[worker],
+               &worker_max_time_[worker]);
     barrier_.arrive(worker - 1, seen);
     if (host_prof_ != nullptr) {
       prof_mark(worker, win, support::HostPhase::kBarrierWake);
@@ -590,6 +780,9 @@ Time Simulator::run_windowed(uint32_t workers) {
     // of an iteration it is the index of the window being planned.
     const uint64_t win = windows_;
     drain_inboxes();
+    // After a fused region the worker-side rendezvous drains have
+    // bypassed note_lane_front; rebuild the heap before trusting it.
+    if (fronts_dirty_) rebuild_fronts();
     // Serial phase: global entries (barrier fan-ins and releases, merge
     // completions) run strictly before any node entry at or after their
     // time. Their callbacks may push node entries directly — workers
@@ -601,6 +794,15 @@ Time Simulator::run_windowed(uint32_t workers) {
     }
     uint64_t serial_before = serial_processed;
     while (!global_q_.empty() && global_q_.top().time <= node_min) {
+      // The global lane's share of the test hook (lane == nodes_), so
+      // tests can stretch a serial drain the way they wedge a lane.
+      if (test_lane_hook_) test_lane_hook_(nodes_, win);
+      if (wd_enabled_.load(std::memory_order_relaxed)) {
+        // Defense in depth for long global bursts: execute() beats
+        // before each callback, but an iteration also spends time in
+        // frontier recomputation the heartbeat should witness.
+        wd_heartbeat_.fetch_add(1, std::memory_order_relaxed);
+      }
       auto& top = const_cast<Entry&>(global_q_.top());
       Entry e{top.time, top.seq, top.cause, top.creator, std::move(top.fn)};
       global_q_.pop();
@@ -621,8 +823,12 @@ Time Simulator::run_windowed(uint32_t workers) {
       break;
     }
     // Publish this window's per-lane boundaries (policy-dependent; see
-    // compute_window_ends) before releasing the workers.
+    // compute_window_ends) before releasing the workers, then pre-plan
+    // the horizons of every boundary this region can elide — all while
+    // workers are still parked, so the whole schedule is deterministic.
     compute_window_ends(node_min);
+    plan_elisions();
+    elided_boundaries_ += elide_count_;
 
     // Queue-depth gauge: entries pushed minus executed, sampled at the
     // boundary where the value is deterministic (same instant the old
@@ -653,13 +859,33 @@ Time Simulator::run_windowed(uint32_t workers) {
       if (host_prof_ != nullptr) {
         prof_mark(0, win, support::HostPhase::kBarrierWake);
       }
-      process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
+      run_region(0, &worker_processed_[0], &worker_max_time_[0]);
+      // Double-buffered boundary work: while the stragglers finish
+      // their shares, pre-stage the coordinator's own block of mailbox
+      // merges for the next boundary. Whatever lands after this peek
+      // is caught by the drain at the loop top; entries folded in now
+      // come off the next serial segment. The coordinator owns the
+      // front heap, so recording fronts here is race-free.
+      for (uint32_t n = lane_lo_[0]; n < lane_hi_[0]; ++n) {
+        Mailbox& box = inbox_[n];
+        if (!box.nonempty.load(std::memory_order_acquire)) continue;
+        std::lock_guard<std::mutex> lock(box.mu);
+        for (Entry& e : box.items) {
+          note_lane_front(n, e.time);
+          node_q_[n].push(std::move(e));
+        }
+        box.items.clear();
+        box.nonempty.store(false, std::memory_order_relaxed);
+      }
+      if (host_prof_ != nullptr) {
+        prof_mark(0, win, support::HostPhase::kElided);
+      }
       barrier_.wait_arrivals(epoch_seq_);
       if (host_prof_ != nullptr) {
         prof_mark(0, win, support::HostPhase::kBarrierWait);
       }
     } else {
-      process_nodes(0, &worker_processed_[0], &worker_max_time_[0]);
+      run_region(0, &worker_processed_[0], &worker_max_time_[0]);
     }
   }
 

@@ -142,7 +142,11 @@ class Simulator {
   void schedule_at_affine(Time t, uint32_t node, std::function<void()> fn);
   // Schedule a merge completion at t, keyed (t, kMergeCreator,
   // merge_uid): any worker may request it, the key never depends on
-  // which one did. Runs in the serial phase (global affinity).
+  // which one did. Runs in the serial phase (global affinity). Every
+  // call must be preceded by note_merge_armed() at wiring time
+  // (CHECK-enforced): the armed count is what stops the boundary
+  // planner from eliding serial phases while a completion could still
+  // appear from a worker at an unknown time.
   void schedule_merge_completion(Time t, uint64_t merge_uid,
                                  std::function<void()> fn);
 
@@ -165,6 +169,18 @@ class Simulator {
   // same virtual timeline.
   void set_adaptive_window(bool on) { adaptive_ = on; }
   bool adaptive_window() const { return adaptive_; }
+
+  // Boundary elision (backend v3, adaptive policy only): when the
+  // serial boundary between two adjacent windows provably has nothing
+  // to do — no global-lane entry below the fused horizon and no armed
+  // merge completion that could mint one — the coordinator pre-plans a
+  // run of windows at once and workers roll between them through a
+  // cheap symmetric rendezvous instead of a full park / serial drain /
+  // release cycle. Same per-lane execution order, bit for bit; only
+  // the host-side boundary protocol (and the window-shape gauges)
+  // changes. Call before run_windowed(). Default on.
+  void set_elide_boundaries(bool on) { elide_ = on; }
+  bool elide_boundaries() const { return elide_; }
 
   // Pin plan for the windowed run's host threads: worker w pins to
   // cpus[w % cpus.size()] (worker 0 is the coordinator thread, whose
@@ -189,6 +205,13 @@ class Simulator {
   // completion is scheduled in adaptive mode); the minimum across
   // registrations caps how far any lane may run past the window start.
   void note_global_influence_floor(Time delay);
+  // A remote merge has been wired (Event::merge_remote) whose deferred
+  // completion has not yet been scheduled. While any such merge is
+  // outstanding a worker may mint a *new* global-lane entry at an
+  // unknown time mid-window, so boundary elision is disabled; once the
+  // completion is scheduled it is an ordinary global entry covered by
+  // the next-global-entry clamp and the count drops.
+  void note_merge_armed();
 
   // Record every executed entry per affinity lane (nodes_ + 1 lanes,
   // last = global). Windowed mode only; pass nullptr to disable.
@@ -226,12 +249,15 @@ class Simulator {
   }
 
   // Test-only: invoked at the top of every lane's share of a window
-  // (lane index, window index) on the worker thread that owns the lane.
-  // Lets tests wedge a lane deliberately to exercise the watchdog.
+  // (lane index, window index) on the worker thread that owns the lane,
+  // and — with lane == nodes() (the global lane) — at the top of every
+  // serial-drain iteration on the coordinator. Lets tests wedge a lane
+  // or stretch the serial phase deliberately to exercise the watchdog.
   void set_test_lane_hook(
       std::function<void(uint32_t lane, uint64_t window)> hook) {
     test_lane_hook_ = std::move(hook);
   }
+  uint32_t nodes() const { return nodes_; }
 
   // True while run() / run_windowed() is processing events.
   bool running() const { return running_; }
@@ -249,8 +275,15 @@ class Simulator {
 
   // Conservative windows executed by run_windowed (0 for sequential
   // runs). Adaptive windows are never shallower than reference windows,
-  // so this count is the cheap proxy for barrier overhead.
+  // so this count is the cheap proxy for barrier overhead. With
+  // boundary elision a fused run of k+1 windows counts as one full
+  // window plus k elided boundaries.
   uint64_t windows() const { return windows_; }
+
+  // Window boundaries replaced by the in-region rendezvous (0 when
+  // elision is off or the policy is not adaptive). Deterministic for a
+  // given program and elision setting, independent of worker count.
+  uint64_t elided_boundaries() const { return elided_boundaries_; }
 
  private:
   struct Entry {
@@ -311,6 +344,24 @@ class Simulator {
   // Fill win_end_lane_ for the window starting at node_min under the
   // current policy, and bump the window counter.
   void compute_window_ends(Time node_min);
+  // Boundary elision: starting from the window just planned into
+  // win_end_lane_, pre-compute horizons for a run of follow-on windows
+  // whose boundaries provably need no serial phase. Fills elide_ends_
+  // and elide_count_ (0 = nothing elided).
+  void plan_elisions();
+  // One fused region for `worker`: its share of the planned window,
+  // then elide_count_ more sub-windows separated by the symmetric
+  // rendezvous (horizon handoff + own-block mailbox drain).
+  void run_region(uint32_t worker, uint64_t* processed, Time* max_time);
+  // Symmetric all-worker rendezvous at an elided boundary; the last
+  // arriver installs sub-window `sub`'s horizons into win_end_lane_.
+  void elide_rendezvous(uint32_t sub);
+  // Drain the mailboxes of `worker`'s own lane block into its queues
+  // (front heap untouched — the caller marks fronts dirty).
+  void drain_block_inboxes(uint32_t worker);
+  // Rebuild the lane-front heap from scratch after a fused region (the
+  // worker-side mailbox drains bypass note_lane_front).
+  void rebuild_fronts();
   void worker_main(uint32_t worker);
   // Close the current host-phase segment for `worker` (one clock read;
   // the segment began where the previous mark ended).
@@ -348,7 +399,31 @@ class Simulator {
   // backwards (CHECK-enforced in execute()).
   std::vector<Time> lane_last_exec_;
   uint64_t windows_ = 0;
+  uint64_t elided_boundaries_ = 0;
   std::vector<std::vector<ExecRecord>>* exec_log_ = nullptr;
+
+  // --- boundary elision (backend v3) -----------------------------------
+  bool elide_ = true;
+  // Horizons for the current fused region's elided sub-windows:
+  // elide_ends_[s] are the per-lane boundaries installed at rendezvous
+  // s (the region runs elide_count_ + 1 sub-windows). Planned by the
+  // coordinator while workers are parked; read by the rendezvous's
+  // last arriver.
+  std::vector<std::vector<Time>> elide_ends_;
+  uint32_t elide_count_ = 0;
+  // Remote merges wired but with no scheduled completion yet: while
+  // nonzero a worker may mint a global entry at an unknown time, so
+  // planning refuses to elide. Armed from global contexts; the
+  // decrement (completion scheduled) may come from any worker, and the
+  // coordinator only reads it at full boundaries with workers parked.
+  std::atomic<uint64_t> pending_merges_{0};
+  // Symmetric rendezvous state for elided boundaries: a counter plus a
+  // monotonically increasing phase word (one bump per rendezvous).
+  std::atomic<uint32_t> elide_arrived_{0};
+  alignas(64) std::atomic<uint64_t> elide_phase_{0};
+  // Set when worker-side mailbox drains bypassed note_lane_front; the
+  // next full boundary rebuilds the front heap before planning.
+  bool fronts_dirty_ = false;
 
   // Adaptive-window inputs. Armed counts are bumped at wiring and
   // decremented from whichever worker runs the injection; they only

@@ -23,6 +23,7 @@ const char* host_phase_name(HostPhase p) {
     case HostPhase::kOutboxFlush: return "outbox_flush";
     case HostPhase::kBarrierWait: return "barrier_wait";
     case HostPhase::kBarrierWake: return "barrier_wake";
+    case HostPhase::kElided: return "elided";
   }
   return "?";
 }
@@ -77,12 +78,15 @@ HostProfile HostProfiler::profile() const {
 
   // Per-window rows from the coordinator timeline. Coordinator spans
   // arrive in time order and each window's group is contiguous:
-  // plan [serial_drain] plan [wake] lane_drain outbox_flush [wait].
+  // plan [serial_drain] plan [wake] lane_drain outbox_flush
+  // [elided lane_drain outbox_flush ...] [wait] — a fused window (with
+  // elided boundaries) keeps one row covering all its sub-windows.
   // The final drain iteration (queues empty, no window started) records
   // plan spans under one-past-the-last window index and produces no
   // row: it has no lane_drain.
   if (!lanes_.empty()) {
     std::map<uint64_t, HostWindowRow> rows;
+    std::map<uint64_t, uint64_t> parallel_start;  // first lane_drain t0
     for (const HostSpan& s : lanes_[0]) {
       HostWindowRow& r = rows.try_emplace(s.window).first->second;
       if (r.end_ns == 0 && r.start_ns == 0) r.start_ns = s.t0;
@@ -90,23 +94,16 @@ HostProfile HostProfiler::profile() const {
       r.start_ns = std::min(r.start_ns, s.t0);
       r.end_ns = std::max(r.end_ns, s.t1);
       if (s.phase == HostPhase::kLaneDrain) {
-        // Parallel segment start: the coordinator enters its own lane
-        // block immediately after the release.
-        r.parallel_span_ns = s.t0;  // stash start; fixed up below
+        // Parallel segment start: the coordinator enters its first lane
+        // block of the window immediately after the release. Later
+        // sub-window lane drains must not move it.
+        parallel_start.try_emplace(s.window, s.t0);
       }
     }
     for (auto& [win, r] : rows) {
-      const bool has_parallel = r.parallel_span_ns != 0 || [&] {
-        // A window whose coordinator lane block starts at t0 == 0.
-        for (const HostSpan& s : lanes_[0]) {
-          if (s.window == win && s.phase == HostPhase::kLaneDrain)
-            return true;
-        }
-        return false;
-      }();
-      if (!has_parallel) continue;  // final drain iteration
-      const uint64_t parallel_start = r.parallel_span_ns;
-      r.parallel_span_ns = r.end_ns - parallel_start;
+      auto ps = parallel_start.find(win);
+      if (ps == parallel_start.end()) continue;  // final drain iteration
+      r.parallel_span_ns = r.end_ns - ps->second;
       r.serial_ns = (r.end_ns - r.start_ns) - r.parallel_span_ns;
       out.window_rows.push_back(r);
     }

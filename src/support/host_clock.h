@@ -26,6 +26,10 @@
 //                 coordinator in wait_arrivals
 //   barrier_wake  signaling: the coordinator's release, a worker's
 //                 arrival propagation
+//   elided        an elided window boundary: the symmetric rendezvous
+//                 between fused sub-windows (wait + horizon handoff +
+//                 the worker's own-block mailbox drain) that replaces
+//                 a full park/serial-drain/release cycle
 //
 // Everything here is host-side observation only: recording reads the
 // host clock but never virtual time, and nothing in the simulator's
@@ -55,8 +59,9 @@ enum class HostPhase : uint8_t {
   kOutboxFlush = 3,
   kBarrierWait = 4,
   kBarrierWake = 5,
+  kElided = 6,
 };
-inline constexpr size_t kNumHostPhases = 6;
+inline constexpr size_t kNumHostPhases = 7;
 const char* host_phase_name(HostPhase p);
 
 struct HostSpan {

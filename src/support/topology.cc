@@ -28,6 +28,19 @@ int read_sys_int(const std::string& path, int fallback) {
 }
 #endif
 
+// Grouping key for "which physical core is this logical CPU on".
+// A CPU whose core id could not be read (containers often hide /sys)
+// must count as its own core — never merged with its neighbors, and
+// never merged with a *known* core id either. Mapping unknowns onto the
+// cpu index (the old scheme) collides when sysfs is partially readable:
+// cpu 1 with an unreadable core file would share a key with whichever
+// cpu really has core_id 1, silently halving the core count and
+// double-pinning workers. Unknowns therefore key into a disjoint
+// negative namespace, one value per cpu.
+int core_key(const LogicalCpu& lc) {
+  return lc.core >= 0 ? lc.core : -1 - lc.cpu;
+}
+
 }  // namespace
 
 CpuTopology CpuTopology::probe() {
@@ -53,9 +66,7 @@ CpuTopology CpuTopology::probe() {
 uint32_t CpuTopology::physical_cores() const {
   std::map<std::pair<int, int>, bool> seen;
   for (const LogicalCpu& lc : cpus) {
-    // Unknown core ids count individually (key on the cpu index).
-    const int core = lc.core >= 0 ? lc.core : lc.cpu;
-    seen[{lc.package, core}] = true;
+    seen[{lc.package, core_key(lc)}] = true;
   }
   return static_cast<uint32_t>(seen.size());
 }
@@ -75,8 +86,7 @@ std::vector<int> CpuTopology::plan(uint32_t n) const {
   std::map<std::pair<int, int>, bool> used_core;
   std::vector<int> siblings;
   for (const LogicalCpu& lc : sorted) {
-    const int core = lc.core >= 0 ? lc.core : lc.cpu;
-    auto key = std::make_pair(lc.package, core);
+    auto key = std::make_pair(lc.package, core_key(lc));
     if (!used_core[key]) {
       used_core[key] = true;
       order.push_back(lc.cpu);

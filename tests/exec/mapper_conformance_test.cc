@@ -33,6 +33,7 @@ std::map<std::string, double> without_window_shape(
     std::map<std::string, double> m) {
   m.erase("sim.queue.max_depth");
   m.erase("sim.windows");
+  m.erase("sim.windows_elided");
   return m;
 }
 

@@ -61,7 +61,8 @@ ir::Program build_app(rt::Runtime& rt, const std::string& app,
 
 ExecutionResult run_app(const std::string& app, uint32_t workers,
                         bool replay = false, bool adaptive = true,
-                        bool host_profile = false, bool watchdog = false) {
+                        bool host_profile = false, bool watchdog = false,
+                        bool elide = true) {
   CostModel cost;
   cost.track_dependences = false;
   const uint32_t nodes = 4;
@@ -75,6 +76,7 @@ ExecutionResult run_app(const std::string& app, uint32_t workers,
   cfg.check = true;
   cfg.trace_replay = replay;
   cfg.adaptive_window = adaptive;
+  cfg.elide_boundaries = elide;
   cfg.host_profile = host_profile;
   // A budget far above any test run's wall time: the watchdog thread
   // runs but must never fire (and must never perturb the timeline).
@@ -91,6 +93,7 @@ std::map<std::string, double> without_window_shape(
     std::map<std::string, double> m) {
   m.erase("sim.queue.max_depth");
   m.erase("sim.windows");
+  m.erase("sim.windows_elided");
   return m;
 }
 
@@ -144,6 +147,65 @@ void expect_bit_identical(const std::string& app) {
       EXPECT_EQ(res.check->stats.pairs_checked,
                 base.check->stats.pairs_checked)
           << where;
+    }
+  }
+}
+
+// Boundary elision (backend v3) must be invisible in virtual time: for
+// every app, every worker count in {0, 1, 4, hw} must produce the same
+// makespan, metrics (modulo the window-shape gauges, which elision
+// changes by design) and checker verdict with elision on and off.
+// Within one elision setting the windowed runs (w >= 1) must match the
+// setting's own single-worker run bit for bit, window shape included;
+// at w == 0 the flag must be perfectly inert (the sequential path never
+// windows), so the full snapshots must be equal.
+TEST(ParallelEquivalence, BoundaryElisionIsTimelineNeutral) {
+  for (const std::string app : {"stencil", "circuit", "pennant",
+                                "miniaero"}) {
+    const ExecutionResult ref = run_app(app, 1);  // elision on (default)
+    const ExecutionResult ref_off =
+        run_app(app, 1, /*replay=*/false, /*adaptive=*/true,
+                /*host_profile=*/false, /*watchdog=*/false, /*elide=*/false);
+    ASSERT_GT(ref.makespan_ns, 0u) << app;
+    EXPECT_EQ(ref_off.makespan_ns, ref.makespan_ns) << app << " cross-elide";
+    EXPECT_EQ(without_window_shape(ref_off.metrics),
+              without_window_shape(ref.metrics))
+        << app << " cross-elide";
+    // Elision never runs *more* full windows than the reference
+    // protocol, and the reference protocol never elides anything.
+    EXPECT_LE(ref.metrics.at("sim.windows"),
+              ref_off.metrics.at("sim.windows"))
+        << app;
+    EXPECT_EQ(ref_off.metrics.at("sim.windows_elided"), 0.0) << app;
+
+    std::vector<uint32_t> counts = {0, 4};
+    const uint32_t hw = std::thread::hardware_concurrency();
+    if (hw > 1 && hw != 4) counts.push_back(hw);
+    for (const uint32_t w : counts) {
+      for (const bool elide : {true, false}) {
+        const ExecutionResult res =
+            run_app(app, w, /*replay=*/false, /*adaptive=*/true,
+                    /*host_profile=*/false, /*watchdog=*/false, elide);
+        const std::string where = app + (elide ? " elide" : " no-elide") +
+                                  " workers=" + std::to_string(w);
+        if (w == 0) {
+          // Sequential path: the flag touches nothing at all.
+          EXPECT_EQ(res.makespan_ns, ref.makespan_ns) << where;
+          continue;
+        }
+        const ExecutionResult& base = elide ? ref : ref_off;
+        EXPECT_EQ(res.makespan_ns, base.makespan_ns) << where;
+        EXPECT_EQ(res.point_tasks, base.point_tasks) << where;
+        EXPECT_EQ(res.bytes_moved, base.bytes_moved) << where;
+        EXPECT_EQ(res.messages, base.messages) << where;
+        EXPECT_EQ(res.metrics, base.metrics) << where;
+        ASSERT_NE(res.check, nullptr) << where;
+        EXPECT_EQ(res.check->ok(), base.check->ok()) << where;
+        EXPECT_EQ(res.check->races.size(), base.check->races.size())
+            << where;
+        EXPECT_EQ(res.check->stats.accesses, base.check->stats.accesses)
+            << where;
+      }
     }
   }
 }

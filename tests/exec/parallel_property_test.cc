@@ -25,7 +25,7 @@ struct WitnessedRun {
 };
 
 WitnessedRun run_witnessed(uint64_t seed, uint32_t workers,
-                           bool adaptive = true) {
+                           bool adaptive = true, bool elide = true) {
   support::Rng rng(seed * 9176 + 3);
   const uint32_t nodes = 2 + static_cast<uint32_t>(rng.next_below(3));
   const uint64_t colors = nodes + rng.next_below(nodes + 1);
@@ -42,6 +42,7 @@ WitnessedRun run_witnessed(uint64_t seed, uint32_t workers,
   cfg.mode = ExecMode::kSpmd;
   cfg.workers = workers;
   cfg.adaptive_window = adaptive;
+  cfg.elide_boundaries = elide;
   PreparedRun run = prepare(rt, rp.program, cfg);
   WitnessedRun out;
   rt.sim().set_exec_log(&out.log);
@@ -105,6 +106,50 @@ TEST_P(ParallelProperty, AdaptiveWindowsReplayReferenceOrders) {
     ASSERT_NE(bw, ref.result.metrics.end());
     EXPECT_LE(rw->second, bw->second)
         << "seed " << seed << " workers=" << workers;
+  }
+}
+
+// Boundary elision on the random-program soup: whatever boundaries the
+// planner decides to fuse, the per-lane (time, creator, cseq) replay
+// must be untouched, and the window accounting must stay coherent —
+// elision only ever removes full boundaries (windows_elide <=
+// windows_ref), the no-elide run never reports an elided boundary, and
+// the elision count is identical at every worker count (the plan is a
+// pure function of boundary-time state, so it cannot depend on how many
+// host threads execute it).
+TEST_P(ParallelProperty, ElisionPreservesReplayAndCountsDeterministically) {
+  const uint64_t seed = GetParam();
+  const WitnessedRun ref =
+      run_witnessed(seed, 1, /*adaptive=*/true, /*elide=*/false);
+  const auto metric = [](const WitnessedRun& r, const char* key) {
+    const auto it = r.result.metrics.find(key);
+    return it != r.result.metrics.end() ? it->second : -1.0;
+  };
+  ASSERT_GE(metric(ref, "sim.windows"), 0.0) << "seed " << seed;
+  EXPECT_EQ(metric(ref, "sim.windows_elided"), 0.0) << "seed " << seed;
+  double elided_at_w1 = -1;
+  for (const uint32_t workers : {1u, 2u, 4u}) {
+    const WitnessedRun res =
+        run_witnessed(seed, workers, /*adaptive=*/true, /*elide=*/true);
+    ASSERT_EQ(res.log.size(), ref.log.size())
+        << "seed " << seed << " workers=" << workers;
+    for (size_t lane = 0; lane < ref.log.size(); ++lane) {
+      EXPECT_EQ(res.log[lane], ref.log[lane])
+          << "seed " << seed << " workers=" << workers << " lane " << lane;
+    }
+    EXPECT_EQ(res.result.makespan_ns, ref.result.makespan_ns)
+        << "seed " << seed << " workers=" << workers;
+    const double elided = metric(res, "sim.windows_elided");
+    EXPECT_GE(elided, 0.0) << "seed " << seed << " workers=" << workers;
+    EXPECT_LE(metric(res, "sim.windows"), metric(ref, "sim.windows"))
+        << "seed " << seed << " workers=" << workers;
+    if (elided_at_w1 < 0) {
+      elided_at_w1 = elided;
+    } else {
+      EXPECT_EQ(elided, elided_at_w1)
+          << "seed " << seed << " workers=" << workers
+          << ": elision plan depends on the worker count";
+    }
   }
 }
 

@@ -56,8 +56,10 @@ void unroll_program(Simulator& sim, RunResult& out) {
     sim.schedule_at(t, [&out] { ++out.serial_execs; });
   }
   // A deferred merge completion (kMergeCreator key) — the other serial
-  // producer; adaptive mode requires a registered influence floor.
+  // producer; adaptive mode requires a registered influence floor, and
+  // every completion must be armed at wiring time (the elision gate).
   sim.note_global_influence_floor(kLookahead);
+  sim.note_merge_armed();
   sim.schedule_merge_completion(250, /*merge_uid=*/7,
                                 [&out] { ++out.serial_execs; });
 }
@@ -214,6 +216,56 @@ TEST(HostProfile, WatchdogDumpsFlightRecorderOnStuckLane) {
   EXPECT_EQ(out.node_execs, ref.node_execs);
   EXPECT_EQ(out.serial_execs, ref.serial_execs);
   EXPECT_EQ(out.log, ref.log);
+}
+
+TEST(HostProfile, WatchdogSurvivesLongSerialDrain) {
+  // Regression: the serial phase used to run its whole drain loop
+  // without touching the heartbeat, so a boundary with many global
+  // entries could exceed the budget while making perfectly good
+  // progress — a spurious stall dump. The coordinator now beats once
+  // per drained entry (and exposes each iteration to the test hook as
+  // lane == nodes()), so a drain that is long in aggregate but live per
+  // entry must keep the watchdog silent.
+  std::mutex mu;
+  std::string captured;
+  std::atomic<uint32_t> serial_iterations{0};
+
+  Simulator sim;
+  RunResult out;
+  sim.begin_windowed(kNodes, kLookahead);
+  // A little lane work so windows form, then a pile of global-lane
+  // entries that one boundary drains back to back.
+  for (uint32_t n = 0; n < kNodes; ++n) {
+    sim.schedule_at_affine(10 + n, n, [&out, n] { ++out.node_execs[n]; });
+  }
+  sim.note_global_influence_floor(kLookahead);
+  for (int k = 0; k < 10; ++k) {
+    sim.schedule_at(150 + k, [&out] { ++out.serial_execs; });
+  }
+  Simulator::WatchdogOptions wd;
+  wd.budget_ms = 100;
+  wd.abort_on_stall = false;
+  wd.sink = [&mu, &captured](const std::string& dump) {
+    std::lock_guard<std::mutex> lock(mu);
+    captured += dump;
+  };
+  sim.set_watchdog(std::move(wd));
+  // Stretch every serial-drain iteration: ~10 x 40ms = ~400ms inside
+  // one serial phase, far past the 100ms budget, but with a beat
+  // between every sleep.
+  sim.set_test_lane_hook([&serial_iterations](uint32_t lane, uint64_t) {
+    if (lane == kNodes) {
+      ++serial_iterations;
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  });
+  sim.run_windowed(2);
+
+  EXPECT_EQ(out.serial_execs, 10u);
+  EXPECT_GE(serial_iterations.load(), 10u);
+  EXPECT_FALSE(sim.watchdog_fired());
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(captured.empty()) << captured;
 }
 
 TEST(HostProfile, WatchdogStaysSilentOnHealthyRun) {

@@ -52,6 +52,36 @@ TEST(Topology, PlanPrefersDistinctPhysicalCores) {
   EXPECT_EQ(seen.size(), cores);
 }
 
+TEST(Topology, UnknownCoreIdsStayDistinct) {
+  // Restricted containers hide /sys: every CPU probes core=-1,
+  // package=-1. Each CPU must still count as its own physical core —
+  // collapsing them into one (package=-1, core=-1) key would pin every
+  // worker onto one CPU.
+  CpuTopology topo;
+  for (int c = 0; c < 4; ++c) topo.cpus.push_back({c, -1, -1});
+  EXPECT_EQ(topo.physical_cores(), 4u);
+  const std::vector<int> plan = topo.plan(4);
+  ASSERT_EQ(plan.size(), 4u);
+  const std::set<int> distinct(plan.begin(), plan.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Topology, PartiallyUnknownCoresDoNotCollideWithRealIds) {
+  // cpu 1's core file is unreadable while cpu 2 really has core_id 1:
+  // the old cpu-index fallback keyed both as (pkg 0, core 1), silently
+  // halving the core count and double-booking the pin plan. Unknowns
+  // must key into their own namespace.
+  CpuTopology topo;
+  topo.cpus.push_back({0, 0, 0});
+  topo.cpus.push_back({1, -1, 0});
+  topo.cpus.push_back({2, 1, 0});
+  EXPECT_EQ(topo.physical_cores(), 3u);
+  const std::vector<int> plan = topo.plan(3);
+  ASSERT_EQ(plan.size(), 3u);
+  const std::set<int> distinct(plan.begin(), plan.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
 TEST(Topology, AffinityRoundTrip) {
   const std::vector<int> before = current_thread_affinity();
   ASSERT_FALSE(before.empty());

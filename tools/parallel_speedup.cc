@@ -12,9 +12,10 @@
 // --reps measurements, so the CI speedup gate tolerates shared-runner
 // noise.
 //
-//   parallel_speedup [--app=stencil|circuit] [--nodes=<n>] [--steps=<n>]
+//   parallel_speedup [--app=stencil|circuit|pennant|miniaero]
+//                    [--nodes=<n>] [--steps=<n>]
 //                    [--max-workers=<n>] [--reps=<n>] [--warmup=<n>]
-//                    [--pin] [--global-window] [--json=<path>]
+//                    [--pin] [--global-window] [--no-elide] [--json=<path>]
 //                    [--require-speedup=<x>] [--host-trace=<path>]
 //                    [--host-report=<path>]
 //
@@ -39,6 +40,8 @@
 #include <vector>
 
 #include "apps/circuit/circuit.h"
+#include "apps/miniaero/miniaero.h"
+#include "apps/pennant/pennant.h"
 #include "apps/stencil/stencil.h"
 #include "exec/implicit_exec.h"
 #include "support/host_clock.h"
@@ -54,6 +57,7 @@ struct ToolOptions {
   uint32_t warmup = 1;
   bool pin = false;
   bool global_window = false;
+  bool no_elide = false;
   std::string json_path;
   std::string host_trace_path;
   std::string host_report_path;
@@ -70,6 +74,7 @@ struct Measured {
   cr::sim::Time makespan_ns = 0;
   uint64_t events = 0;
   uint64_t windows = 0;
+  uint64_t windows_elided = 0;
   // Setup (runtime construction + program build + prepare) and the run
   // itself are timed in separate steady_clock windows: the speedup
   // denominator must only contain work the worker count can affect.
@@ -86,6 +91,7 @@ struct OneRun {
   cr::sim::Time makespan_ns = 0;
   uint64_t events = 0;
   uint64_t windows = 0;
+  uint64_t windows_elided = 0;
   double setup_seconds = 0;
   double run_seconds = 0;
   std::shared_ptr<cr::support::HostProfile> profile;
@@ -107,6 +113,23 @@ OneRun run_once(const ToolOptions& opt, uint32_t workers,
     cfg.wires_per_piece = 64;
     cfg.steps = opt.steps;
     program = cr::apps::circuit::build(rt, cfg).program;
+  } else if (opt.app == "pennant") {
+    cr::apps::pennant::Config cfg;
+    cfg.nodes = opt.nodes;
+    cfg.pieces_per_node = 2;
+    cfg.zones_x_per_piece = 12;
+    cfg.zones_y = 12;
+    cfg.steps = opt.steps;
+    program = cr::apps::pennant::build(rt, cfg).program;
+  } else if (opt.app == "miniaero") {
+    cr::apps::miniaero::Config cfg;
+    cfg.nodes = opt.nodes;
+    cfg.pieces_per_node = 2;
+    cfg.cells_x_per_piece = 6;
+    cfg.cells_y = 8;
+    cfg.cells_z = 8;
+    cfg.steps = opt.steps;
+    program = cr::apps::miniaero::build(rt, cfg).program;
   } else {
     cr::apps::stencil::Config cfg;
     cfg.nodes = opt.nodes;
@@ -122,6 +145,7 @@ OneRun run_once(const ToolOptions& opt, uint32_t workers,
   ecfg.mode = cr::exec::ExecMode::kSpmd;
   ecfg.workers = workers;
   ecfg.adaptive_window = !opt.global_window;
+  ecfg.elide_boundaries = !opt.no_elide;
   ecfg.pin_workers = opt.pin;
   ecfg.host_profile = profile && workers >= 1;
   cr::exec::PreparedRun run = cr::exec::prepare(rt, std::move(program), ecfg);
@@ -137,6 +161,7 @@ OneRun run_once(const ToolOptions& opt, uint32_t workers,
   };
   out.events = metric("sim.events_processed");
   out.windows = metric("sim.windows");
+  out.windows_elided = metric("sim.windows_elided");
   out.setup_seconds =
       std::chrono::duration<double>(run_begin - setup_begin).count();
   out.run_seconds = std::chrono::duration<double>(run_end - run_begin).count();
@@ -161,6 +186,7 @@ Measured measure(const ToolOptions& opt, uint32_t workers) {
       out.makespan_ns = r.makespan_ns;
       out.events = r.events;
       out.windows = r.windows;
+      out.windows_elided = r.windows_elided;
     } else if (r.makespan_ns != out.makespan_ns) {
       std::fprintf(stderr,
                    "FAIL: makespan diverged across reps at workers=%u\n",
@@ -192,9 +218,11 @@ Measured measure(const ToolOptions& opt, uint32_t workers) {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--app=stencil|circuit] [--nodes=<n>] [--steps=<n>]\n"
+      "usage: %s [--app=stencil|circuit|pennant|miniaero]\n"
+      "          [--nodes=<n>] [--steps=<n>]\n"
       "          [--max-workers=<n>] [--reps=<n>] [--warmup=<n>] [--pin]\n"
-      "          [--global-window] [--json=<path>] [--require-speedup=<x>]\n"
+      "          [--global-window] [--no-elide] [--json=<path>]\n"
+      "          [--require-speedup=<x>]\n"
       "          [--host-trace=<path>] [--host-report=<path>]\n",
       argv0);
   return 2;
@@ -213,6 +241,8 @@ void write_json(const ToolOptions& opt, const std::vector<Measured>& runs,
   std::fprintf(f, "  \"pin\": %s,\n", opt.pin ? "true" : "false");
   std::fprintf(f, "  \"window_policy\": \"%s\",\n",
                opt.global_window ? "global" : "adaptive");
+  std::fprintf(f, "  \"elide_boundaries\": %s,\n",
+               opt.no_elide ? "false" : "true");
   std::fprintf(f, "  \"series\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const Measured& m = runs[i];
@@ -238,6 +268,8 @@ void write_json(const ToolOptions& opt, const std::vector<Measured>& runs,
     std::fprintf(f, "         \"info.events_per_sec\": %.1f,\n", evps);
     std::fprintf(f, "         \"info.windows\": %llu,\n",
                  static_cast<unsigned long long>(m.windows));
+    std::fprintf(f, "         \"info.windows_elided\": %llu,\n",
+                 static_cast<unsigned long long>(m.windows_elided));
     if (m.profile != nullptr) {
       // Why the number moved: the measured serial fraction and where
       // the host cycles went, from the extra profiled run. info.* keys
@@ -271,7 +303,10 @@ int main(int argc, char** argv) {
     };
     if (arg.rfind("--app=", 0) == 0) {
       opt.app = val("--app=");
-      if (opt.app != "stencil" && opt.app != "circuit") return usage(argv[0]);
+      if (opt.app != "stencil" && opt.app != "circuit" &&
+          opt.app != "pennant" && opt.app != "miniaero") {
+        return usage(argv[0]);
+      }
     } else if (arg.rfind("--nodes=", 0) == 0) {
       opt.nodes = static_cast<uint32_t>(std::atoi(val("--nodes=")));
     } else if (arg.rfind("--steps=", 0) == 0) {
@@ -288,6 +323,8 @@ int main(int argc, char** argv) {
       opt.pin = true;
     } else if (arg == "--global-window") {
       opt.global_window = true;
+    } else if (arg == "--no-elide") {
+      opt.no_elide = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = val("--json=");
     } else if (arg.rfind("--host-trace=", 0) == 0) {
@@ -307,14 +344,15 @@ int main(int argc, char** argv) {
     runs.push_back(measure(opt, w));
   }
 
-  std::printf("%s, %u nodes, %llu steps, %s windows%s, median of %u\n",
+  std::printf("%s, %u nodes, %llu steps, %s windows%s%s, median of %u\n",
               opt.app.c_str(), opt.nodes,
               static_cast<unsigned long long>(opt.steps),
               opt.global_window ? "global" : "adaptive",
-              opt.pin ? ", pinned" : "", opt.reps);
-  std::printf("%-10s %16s %10s %12s %12s %10s %12s\n", "backend",
-              "makespan_ns", "windows", "setup_s", "run_s", "speedup",
-              "events/s");
+              opt.no_elide ? ", no-elide" : "", opt.pin ? ", pinned" : "",
+              opt.reps);
+  std::printf("%-10s %16s %10s %8s %12s %12s %10s %12s\n", "backend",
+              "makespan_ns", "windows", "elided", "setup_s", "run_s",
+              "speedup", "events/s");
   double windowed1 = 0;
   for (const Measured& m : runs) {
     if (m.workers == 1) windowed1 = m.run_seconds;
@@ -330,11 +368,12 @@ int main(int argc, char** argv) {
         m.workers >= 1 && m.run_seconds > 0 ? windowed1 / m.run_seconds : 0;
     const double evps =
         m.run_seconds > 0 ? static_cast<double>(m.events) / m.run_seconds : 0;
-    std::printf("%-10s %16llu %10llu %12.3f %12.3f %10.2f %12.0f\n",
+    std::printf("%-10s %16llu %10llu %8llu %12.3f %12.3f %10.2f %12.0f\n",
                 name.c_str(),
                 static_cast<unsigned long long>(m.makespan_ns),
-                static_cast<unsigned long long>(m.windows), m.setup_seconds,
-                m.run_seconds, speedup, evps);
+                static_cast<unsigned long long>(m.windows),
+                static_cast<unsigned long long>(m.windows_elided),
+                m.setup_seconds, m.run_seconds, speedup, evps);
     if (m.workers >= 1) {
       if (windowed_makespan == 0) windowed_makespan = m.makespan_ns;
       if (m.makespan_ns != windowed_makespan) diverged = true;

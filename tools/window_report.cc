@@ -108,7 +108,15 @@ int main(int argc, char** argv) {
   const double serial_ns = num_of(doc.get("serial_ns"));
   const double serial_fraction = num_of(doc.get("serial_fraction"));
   const double coord_recorded = num_of(doc.get("coordinator_recorded_ns"));
-  if (workers < 1 || wall_ns <= 0) {
+  // workers is the efficiency denominator below: a zero or negative
+  // count would turn every per-window efficiency into inf/NaN, so it is
+  // a hard artifact error, reported as such rather than as "empty".
+  if (workers <= 0) {
+    std::fprintf(stderr, "%s: invalid worker count %g\n", opt.input.c_str(),
+                 workers);
+    return 2;
+  }
+  if (wall_ns <= 0) {
     std::fprintf(stderr, "%s: empty profile\n", opt.input.c_str());
     return 2;
   }
@@ -151,12 +159,20 @@ int main(int argc, char** argv) {
   // busy / (workers * parallel span): 1.0 means every worker executed
   // lane work for the window's whole parallel segment.
   double eff_sum = 0, eff_min = 1e9, eff_max = 0;
-  uint64_t eff_count = 0;
+  uint64_t eff_count = 0, eff_dropped = 0;
   if (const JsonValue* rows = doc.get("windows_detail");
       rows != nullptr && rows->is_array()) {
     for (const JsonValue& r : rows->arr) {
       const double span = num_of(r.get("parallel_span_ns"));
-      if (span <= 0) continue;
+      if (span <= 0) {
+        // A window whose parallel span rounded to zero (or a malformed
+        // row) has no defined efficiency. Dropping it is correct, but
+        // it must not be silent: the mean is then over fewer windows
+        // than the artifact reports, and a report where most rows are
+        // dropped is measuring noise.
+        ++eff_dropped;
+        continue;
+      }
       const double eff = num_of(r.get("busy_ns")) / (workers * span);
       eff_sum += eff;
       eff_min = std::min(eff_min, eff);
@@ -170,6 +186,10 @@ int main(int argc, char** argv) {
         "\n  window efficiency (busy / workers*span): mean %.3f, "
         "min %.3f, max %.3f over %llu windows\n",
         eff_mean, eff_min, eff_max, (unsigned long long)eff_count);
+  }
+  if (eff_dropped > 0) {
+    std::printf("  (%llu zero-span window row%s excluded from the mean)\n",
+                (unsigned long long)eff_dropped, eff_dropped == 1 ? "" : "s");
   }
 
   // --- serial fraction + Amdahl ceiling --------------------------------
@@ -223,10 +243,11 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"serial_fraction\": %.6f,\n", serial_fraction);
     std::fprintf(f, "  \"reconciliation_gap_pct\": %.4f,\n", gap_pct);
     std::fprintf(f, "  \"efficiency\": {\"mean\": %.6f, \"min\": %.6f, "
-                    "\"max\": %.6f, \"windows\": %llu},\n",
+                    "\"max\": %.6f, \"windows\": %llu, \"dropped\": %llu},\n",
                  eff_mean, eff_count > 0 ? eff_min : 0,
                  eff_count > 0 ? eff_max : 0,
-                 (unsigned long long)eff_count);
+                 (unsigned long long)eff_count,
+                 (unsigned long long)eff_dropped);
     std::fprintf(f, "  \"phase_ns\": {");
     for (size_t i = 0; i < phases.size(); ++i) {
       std::fprintf(f, "%s\"%s\": %.0f", i == 0 ? "" : ", ",
